@@ -1,0 +1,119 @@
+// Ablation (Sec. 2.2 claim): "The explicit Euler method systematically
+// overestimates psi and thus slows down fire propagation or even stops it
+// altogether while Heun's method behaves reasonably well."
+//
+// The harness runs the full fire model (where the spread rate feeds back on
+// psi through the front normals and fuel depletion) with both integrators
+// across time steps and prints the burned areas. Expected shape: Euler
+// under-burns, increasingly with dt, while Heun stays consistent across dt;
+// at an aggressive dt the Euler fire falls far behind.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fire/model.h"
+
+using namespace wfire;
+
+namespace {
+
+constexpr int kGridN = 121;
+constexpr double kWind = 8.0;
+constexpr double kDuration = 240.0;
+
+double burned_after_run(bool use_heun, double dt,
+                        levelset::UpwindScheme scheme =
+                            levelset::UpwindScheme::kPaperRule) {
+  const grid::Grid2D g(kGridN, kGridN, 6.0, 6.0);
+  fire::FireModelOptions opt;
+  opt.use_heun = use_heun;
+  opt.scheme = scheme;
+  fire::FireModel model(g, fire::uniform_fuel(g.nx, g.ny,
+                                              fire::kFuelShortGrass),
+                        fire::terrain_flat(g), opt);
+  model.ignite({levelset::Ignition{
+      levelset::CircleIgnition{180.0, 360.0, 25.0, 0.0}}});
+  const int steps = static_cast<int>(kDuration / dt);
+  for (int s = 0; s < steps; ++s) model.step_uniform_wind(dt, kWind, 0.0);
+  return model.burned_area();
+}
+
+void print_integrator_table() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+
+  std::printf("\n=== Ablation: Euler vs Heun (Sec. 2.2 conservation claim) "
+              "===\n");
+  std::printf("wind %.0f m/s, %.0f s simulated, grass fuel\n", kWind,
+              kDuration);
+  std::printf("%8s %14s %14s %14s\n", "dt[s]", "euler[m2]", "heun[m2]",
+              "deficit[%]");
+  bool euler_under = true;
+  // Sweep within the CFL-stable regime (Smax dt / h < ~0.8); at the
+  // stability edge both integrators degrade and the comparison is moot.
+  for (const double dt : {0.25, 0.5, 1.0, 1.5}) {
+    const double ae = burned_after_run(false, dt);
+    const double ah = burned_after_run(true, dt);
+    std::printf("%8.2f %14.0f %14.0f %14.2f\n", dt, ae, ah,
+                100.0 * (ah - ae) / ah);
+    if (ae > ah) euler_under = false;
+  }
+  std::printf("paper shape check: Euler under-burns at every stable dt "
+              "(%s)\n\n",
+              euler_under ? "REPRODUCED" : "NOT reproduced");
+}
+
+}  // namespace
+
+static void BM_Integrator_HeunStep(benchmark::State& state) {
+  print_integrator_table();
+  const grid::Grid2D g(kGridN, kGridN, 6.0, 6.0);
+  fire::FireModel model(g, fire::uniform_fuel(g.nx, g.ny,
+                                              fire::kFuelShortGrass),
+                        fire::terrain_flat(g));
+  model.ignite({levelset::Ignition{
+      levelset::CircleIgnition{180.0, 360.0, 25.0, 0.0}}});
+  for (auto _ : state) {
+    const fire::FireOutputs out = model.step_uniform_wind(0.5, kWind, 0.0);
+    benchmark::DoNotOptimize(out.total_sensible_power);
+  }
+}
+BENCHMARK(BM_Integrator_HeunStep)->Unit(benchmark::kMillisecond);
+
+static void BM_Integrator_EulerStep(benchmark::State& state) {
+  const grid::Grid2D g(kGridN, kGridN, 6.0, 6.0);
+  fire::FireModelOptions opt;
+  opt.use_heun = false;
+  fire::FireModel model(g, fire::uniform_fuel(g.nx, g.ny,
+                                              fire::kFuelShortGrass),
+                        fire::terrain_flat(g), opt);
+  model.ignite({levelset::Ignition{
+      levelset::CircleIgnition{180.0, 360.0, 25.0, 0.0}}});
+  for (auto _ : state) {
+    const fire::FireOutputs out = model.step_uniform_wind(0.5, kWind, 0.0);
+    benchmark::DoNotOptimize(out.total_sensible_power);
+  }
+}
+BENCHMARK(BM_Integrator_EulerStep)->Unit(benchmark::kMillisecond);
+
+// Upwind scheme comparison (paper rule vs classical Godunov): same physics,
+// nearly identical results, similar cost.
+static void BM_Integrator_SchemeComparison(benchmark::State& state) {
+  const bool paper_rule = state.range(0) != 0;
+  const auto scheme = paper_rule ? levelset::UpwindScheme::kPaperRule
+                                 : levelset::UpwindScheme::kStandardGodunov;
+  double area = 0;
+  for (auto _ : state) {
+    area = burned_after_run(true, 1.0, scheme);
+    benchmark::DoNotOptimize(area);
+  }
+  state.counters["burned_m2"] = area;
+}
+BENCHMARK(BM_Integrator_SchemeComparison)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(0)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

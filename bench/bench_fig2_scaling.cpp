@@ -1,0 +1,147 @@
+// Figure 2 reproduction: the parallel structure of one assimilation cycle.
+// Ensemble members are advanced independently (member-parallel), the
+// observation function runs per member, and the (morphing) EnKF is the
+// global phase "on all processors"; the ensemble optionally lives in disk
+// files between stages.
+//
+// Expected shape: the member-parallel phases (advance, obs function) speed
+// up with thread count; the EnKF phase is the serial fraction; the
+// file-based exchange adds a roughly constant per-cycle cost.
+//
+// Benchmark arguments: (members, threads, file_exchange).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/cycle.h"
+#include "obs/obs_function.h"
+
+using namespace wfire;
+
+namespace {
+
+constexpr int kGridN = 101;   // 600 m fire domain at 6 m
+constexpr double kCycleLen = 10.0;
+
+core::CycleOptions cycle_options(int members, int threads,
+                                 bool file_exchange) {
+  core::CycleOptions opt;
+  opt.members = members;
+  opt.threads = threads;
+  opt.file_exchange = file_exchange;
+  opt.exchange_dir = "/tmp/wfire_bench_fig2";
+  opt.ignition_jitter = 20.0;
+  opt.morph.sigma_r = 50.0;
+  opt.morph.sigma_T = 0.5;
+  return opt;
+}
+
+core::ObservationImage make_observation(double t) {
+  const grid::Grid2D g(kGridN, kGridN, 6.0, 6.0);
+  auto truth = std::make_unique<fire::FireModel>(
+      g, fire::uniform_fuel(g.nx, g.ny, fire::kFuelShortGrass),
+      fire::terrain_flat(g));
+  truth->ignite({levelset::Ignition{
+      levelset::CircleIgnition{320.0, 300.0, 25.0, 0.0}}});
+  core::DataPool pool(std::move(truth), {}, util::Rng(99));
+  return pool.observe_at(t);
+}
+
+}  // namespace
+
+static void BM_Fig2_AssimilationCycle(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const bool file_exchange = state.range(2) != 0;
+
+  const grid::Grid2D g(kGridN, kGridN, 6.0, 6.0);
+  double advance_s = 0, obs_s = 0, enkf_s = 0, file_s = 0;
+  int cycles = 0;
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::AssimilationCycle cycle(
+        g, fire::uniform_fuel(g.nx, g.ny, fire::kFuelShortGrass),
+        fire::terrain_flat(g), {}, cycle_options(members, threads,
+                                                 file_exchange),
+        7);
+    cycle.initialize({levelset::Ignition{
+        levelset::CircleIgnition{280.0, 300.0, 25.0, 0.0}}});
+    const core::ObservationImage obs = make_observation(kCycleLen);
+    state.ResumeTiming();
+
+    cycle.advance_to(kCycleLen);
+    cycle.assimilate(obs);
+
+    state.PauseTiming();
+    for (const auto& t : cycle.runner().timings()) {
+      if (t.name == "advance") advance_s += t.seconds;
+      else if (t.name == "obs_function") obs_s += t.seconds;
+      else if (t.name == "enkf") enkf_s += t.seconds;
+      else if (t.name.rfind("file", 0) == 0) file_s += t.seconds;
+    }
+    ++cycles;
+    state.ResumeTiming();
+  }
+  state.counters["advance_s"] = advance_s / cycles;
+  state.counters["obsfn_s"] = obs_s / cycles;
+  state.counters["enkf_s"] = enkf_s / cycles;
+  state.counters["file_s"] = file_s / cycles;
+  state.counters["members"] = members;
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_Fig2_AssimilationCycle)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({8, 1, 0})
+    ->Args({8, 2, 0})
+    ->Args({16, 1, 0})
+    ->Args({16, 2, 0})
+    ->Args({25, 1, 0})
+    ->Args({25, 2, 0})
+    ->Args({16, 2, 1})  // the paper's disk-file pipeline
+    ->Iterations(1);
+
+// Member-advance phase in isolation: the embarrassingly parallel part.
+static void BM_Fig2_MemberAdvance(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const grid::Grid2D g(kGridN, kGridN, 6.0, 6.0);
+  core::AssimilationCycle cycle(
+      g, fire::uniform_fuel(g.nx, g.ny, fire::kFuelShortGrass),
+      fire::terrain_flat(g), {}, cycle_options(16, threads, false), 8);
+  cycle.initialize({levelset::Ignition{
+      levelset::CircleIgnition{280.0, 300.0, 25.0, 0.0}}});
+  double t = 0;
+  for (auto _ : state) {
+    t += kCycleLen;
+    cycle.advance_to(t);
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_Fig2_MemberAdvance)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2);
+
+static void BM_Fig2_FileRoundTrip(benchmark::State& state) {
+  // Cost of one member's state round trip through a disk file.
+  const grid::Grid2D g(kGridN, kGridN, 6.0, 6.0);
+  fire::FireModel model(g, fire::uniform_fuel(g.nx, g.ny,
+                                              fire::kFuelShortGrass),
+                        fire::terrain_flat(g));
+  model.ignite({levelset::Ignition{
+      levelset::CircleIgnition{280.0, 300.0, 25.0, 0.0}}});
+  std::filesystem::create_directories("/tmp/wfire_bench_fig2");
+  const std::string path = "/tmp/wfire_bench_fig2/member.wfst";
+  for (auto _ : state) {
+    obs::write_fire_state(path, model.state());
+    const fire::FireState s = obs::read_fire_state(path, g.nx, g.ny);
+    benchmark::DoNotOptimize(s.time);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(g.nx) * g.ny *
+                          static_cast<int64_t>(sizeof(double)) * 2);
+}
+BENCHMARK(BM_Fig2_FileRoundTrip)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

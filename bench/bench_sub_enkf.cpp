@@ -1,0 +1,146 @@
+// Substrate benchmark: the two EnKF solver paths. The analysis cost is the
+// serial fraction of the paper's Fig. 2 pipeline, so its scaling with the
+// observation count m and ensemble size N decides how much data (image
+// pixels) can be assimilated per cycle.
+//
+// Expected shape: the observation-space path (Cholesky of an m x m matrix)
+// scales ~m^3 and wins for few observations; the ensemble-space path (thin
+// SVD of an m x N matrix) scales ~m N^2 and wins once m >> N — the image
+// assimilation regime.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "enkf/enkf.h"
+#include "enkf/ensemble.h"
+
+using namespace wfire;
+
+namespace {
+
+using namespace wfire::enkf;
+using namespace wfire::la;
+
+struct Problem {
+  Matrix X, HX;
+  Vector d, r_std;
+};
+
+Problem make_problem(int n, int m, int N, util::Rng& rng) {
+  Problem p;
+  p.X = Matrix(n, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < n; ++i) p.X(i, k) = rng.normal();
+  p.HX = Matrix(m, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) p.HX(i, k) = p.X(i % n, k) + 0.1 * rng.normal();
+  p.d = Vector(static_cast<std::size_t>(m), 1.0);
+  p.r_std = Vector(static_cast<std::size_t>(m), 0.5);
+  return p;
+}
+
+void print_crossover_note() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  std::printf("\n=== Substrate: EnKF solver paths (N = 25 members) ===\n");
+  std::printf("obs-space Cholesky ~ O(m^3); ensemble-space SVD ~ O(m N^2).\n");
+  std::printf("auto path switches at m = 2N; timings below show the "
+              "crossover.\n\n");
+}
+
+}  // namespace
+
+static void BM_EnKF_ObsSpace(benchmark::State& state) {
+  print_crossover_note();
+  const int m = static_cast<int>(state.range(0));
+  const int N = 25;
+  const int n = 4096;
+  util::Rng rng(3);
+  const Problem base = make_problem(n, m, N, rng);
+  EnKFOptions opt;
+  opt.path = SolverPath::kObsSpace;
+  for (auto _ : state) {
+    Matrix X = base.X;
+    util::Rng r(7);
+    const EnKFStats s = enkf_analysis(X, base.HX, base.d, base.r_std, r, opt);
+    benchmark::DoNotOptimize(s.increment_rms);
+  }
+  state.counters["m"] = m;
+}
+BENCHMARK(BM_EnKF_ObsSpace)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(25)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1000);
+
+static void BM_EnKF_EnsembleSpace(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int N = 25;
+  const int n = 4096;
+  util::Rng rng(3);
+  const Problem base = make_problem(n, m, N, rng);
+  EnKFOptions opt;
+  opt.path = SolverPath::kEnsembleSpace;
+  for (auto _ : state) {
+    Matrix X = base.X;
+    util::Rng r(7);
+    const EnKFStats s = enkf_analysis(X, base.HX, base.d, base.r_std, r, opt);
+    benchmark::DoNotOptimize(s.increment_rms);
+  }
+  state.counters["m"] = m;
+}
+BENCHMARK(BM_EnKF_EnsembleSpace)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(40000);
+
+static void BM_EnKF_EnsembleSize(benchmark::State& state) {
+  // Cost vs ensemble size at image-scale m (the Fig. 4 regime).
+  const int N = static_cast<int>(state.range(0));
+  const int m = 10000;
+  const int n = 4096;
+  util::Rng rng(5);
+  const Problem base = make_problem(n, m, N, rng);
+  EnKFOptions opt;
+  opt.path = SolverPath::kEnsembleSpace;
+  for (auto _ : state) {
+    Matrix X = base.X;
+    util::Rng r(9);
+    const EnKFStats s = enkf_analysis(X, base.HX, base.d, base.r_std, r, opt);
+    benchmark::DoNotOptimize(s.increment_rms);
+  }
+  state.counters["N"] = N;
+}
+BENCHMARK(BM_EnKF_EnsembleSize)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50);
+
+static void BM_EnKF_Sequential(benchmark::State& state) {
+  // Sequential filter cost per observation (the localized path).
+  const int m = static_cast<int>(state.range(0));
+  const int N = 25;
+  const int n = 4096;
+  util::Rng rng(11);
+  const Problem base = make_problem(n, m, N, rng);
+  for (auto _ : state) {
+    Matrix X = base.X;
+    Matrix HX = base.HX;
+    util::Rng r(13);
+    const EnKFStats s = enkf_sequential(X, HX, base.d, base.r_std, r);
+    benchmark::DoNotOptimize(s.increment_rms);
+  }
+  state.counters["m"] = m;
+}
+BENCHMARK(BM_EnKF_Sequential)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(200);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Substrate benchmark: the reaction-diffusion-convection fire model (the
+// paper's ref [12], used by its earlier regularized-EnKF work) against the
+// level set model of Sec. 2 — the two fire representations this project
+// line assimilates into.
+//
+// Expected shapes: the RD front speed grows with the heating strength A and
+// with wind; per-step cost is comparable to a level set step at equal
+// resolution, but the RD model needs a much smaller dt (explicit diffusion
+// bound dt <= h^2/4k), which is why the level set formulation wins for
+// real-time use — the tradeoff the project's evolution reflects.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fire/model.h"
+#include "fire/reaction_diffusion.h"
+
+using namespace wfire;
+using namespace wfire::fire;
+
+namespace {
+
+grid::Grid2D strip_grid() { return grid::Grid2D(121, 41, 2.0, 2.0); }
+
+double rd_front_speed(double A, double wind) {
+  const grid::Grid2D g = strip_grid();
+  RdFireParams p;
+  p.A = A;
+  RdFireModel model(g, p);
+  model.ignite(30.0, 40.0, 10.0);
+  const double dt = 0.45 * model.stable_dt();
+  for (int s = 0; s < static_cast<int>(20.0 / dt); ++s)
+    model.step(dt, wind, 0.0);
+  const double x0 = model.front_position_x();
+  const double t0 = model.state().time;
+  for (int s = 0; s < static_cast<int>(40.0 / dt); ++s)
+    model.step(dt, wind, 0.0);
+  return (model.front_position_x() - x0) / (model.state().time - t0);
+}
+
+void print_rd_table() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+
+  std::printf("\n=== Substrate: reaction-diffusion fire model (ref [12]) "
+              "===\n");
+  std::printf("%10s %10s %14s\n", "A[K/s]", "wind[m/s]", "front[m/s]");
+  for (const double A : {120.0, 180.0, 260.0})
+    std::printf("%10.0f %10.1f %14.3f\n", A, 0.0, rd_front_speed(A, 0.0));
+  std::printf("%10.0f %10.1f %14.3f   (wind advection)\n", 180.0, 0.5,
+              rd_front_speed(180.0, 0.5));
+
+  const grid::Grid2D g = strip_grid();
+  RdFireModel rd(g);
+  const fire::FuelCategory& grass = fuel_catalog()[kFuelShortGrass];
+  std::printf("stability: RD dt <= %.3f s at h = 2 m, level set dt <= "
+              "%.3f s (CFL 0.9, Smax = %.1f m/s)\n\n",
+              rd.stable_dt(), 0.9 * 2.0 / grass.Smax, grass.Smax);
+}
+
+}  // namespace
+
+static void BM_RdFire_Step(benchmark::State& state) {
+  print_rd_table();
+  const grid::Grid2D g = strip_grid();
+  RdFireModel model(g);
+  model.ignite(30.0, 40.0, 10.0);
+  const double dt = 0.45 * model.stable_dt();
+  for (auto _ : state) {
+    model.step(dt, 0.5, 0.0);
+    benchmark::DoNotOptimize(model.state().T.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.nx) * g.ny);
+}
+BENCHMARK(BM_RdFire_Step)->Unit(benchmark::kMicrosecond);
+
+static void BM_RdFire_LevelSetStepSameGrid(benchmark::State& state) {
+  const grid::Grid2D g = strip_grid();
+  FireModel model(g, uniform_fuel(g.nx, g.ny, kFuelShortGrass),
+                  terrain_flat(g));
+  model.ignite({levelset::Ignition{
+      levelset::CircleIgnition{30.0, 40.0, 10.0, 0.0}}});
+  for (auto _ : state) {
+    const FireOutputs out = model.step_uniform_wind(0.25, 0.5, 0.0);
+    benchmark::DoNotOptimize(out.total_sensible_power);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.nx) * g.ny);
+}
+BENCHMARK(BM_RdFire_LevelSetStepSameGrid)->Unit(benchmark::kMicrosecond);
+
+// Simulated-minute cost at each model's stable step: the real-time metric.
+static void BM_RdFire_SimulatedMinute(benchmark::State& state) {
+  const grid::Grid2D g = strip_grid();
+  for (auto _ : state) {
+    RdFireModel model(g);
+    model.ignite(30.0, 40.0, 10.0);
+    const double dt = 0.45 * model.stable_dt();
+    for (int s = 0; s < static_cast<int>(60.0 / dt); ++s)
+      model.step(dt, 0.5, 0.0);
+    benchmark::DoNotOptimize(model.mean_fuel());
+  }
+}
+BENCHMARK(BM_RdFire_SimulatedMinute)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+static void BM_RdFire_LevelSetSimulatedMinute(benchmark::State& state) {
+  const grid::Grid2D g = strip_grid();
+  for (auto _ : state) {
+    FireModel model(g, uniform_fuel(g.nx, g.ny, kFuelShortGrass),
+                    terrain_flat(g));
+    model.ignite({levelset::Ignition{
+        levelset::CircleIgnition{30.0, 40.0, 10.0, 0.0}}});
+    const double dt = 0.5;  // CFL-stable at h = 2 m for grass
+    for (int s = 0; s < static_cast<int>(60.0 / dt); ++s)
+      model.step_uniform_wind(dt, 0.5, 0.0);
+    benchmark::DoNotOptimize(model.burned_area());
+  }
+}
+BENCHMARK(BM_RdFire_LevelSetSimulatedMinute)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// The paper's Fig. 4 scenario as a runnable demo: a 25-member ensemble is
+// ignited at an intentionally incorrect location, advanced 15 minutes, and
+// corrected by the morphing EnKF (or the standard EnKF for comparison)
+// against a simulated heat-flux image.
+//
+// Run:  ./assimilation_demo [filter=morphing|standard] [members=25]
+//                           [minutes=15] [offset=150]
+#include <cstdio>
+#include <memory>
+
+#include "core/cycle.h"
+#include "obs/obs_function.h"
+#include "util/config.h"
+#include "util/image_io.h"
+
+int main(int argc, char** argv) {
+  using namespace wfire;
+  const util::Config cfg = util::Config::from_args(argc, argv);
+  const std::string filter = cfg.get_string("filter", "morphing");
+  const int members = cfg.get_int("members", 25);
+  const double minutes = cfg.get_double("minutes", 15.0);
+  const double offset = cfg.get_double("offset", 150.0);
+
+  const grid::Grid2D grid(121, 121, 6.0, 6.0);
+
+  // Truth ("reference solution is the simulated data").
+  auto truth = std::make_unique<fire::FireModel>(
+      grid, fire::uniform_fuel(grid.nx, grid.ny, fire::kFuelShortGrass),
+      fire::terrain_flat(grid));
+  truth->ignite({levelset::Ignition{
+      levelset::CircleIgnition{430.0, 360.0, 25.0, 0.0}}});
+  core::DataPoolOptions dopt;
+  dopt.dt = 1.0;
+  dopt.noise_std = 1500.0;
+  dopt.wind_u = 0.3;
+  core::DataPool pool(std::move(truth), dopt, util::Rng(1234));
+
+  // Ensemble ignited `offset` meters west of the truth.
+  core::CycleOptions opt;
+  opt.members = members;
+  opt.dt = 1.0;
+  opt.filter = filter == "standard" ? core::FilterKind::kStandardEnKF
+                                    : core::FilterKind::kMorphingEnKF;
+  opt.wind_u = 0.3;
+  opt.ignition_jitter = 15.0;
+  opt.morph.sigma_r = 50.0;
+  opt.morph.sigma_T = 0.5;
+  opt.standard_sigma_obs = 2000.0;
+  core::AssimilationCycle cycle(
+      grid, fire::uniform_fuel(grid.nx, grid.ny, fire::kFuelShortGrass),
+      fire::terrain_flat(grid), {}, opt, 77);
+  cycle.initialize({levelset::Ignition{
+      levelset::CircleIgnition{430.0 - offset, 360.0, 25.0, 0.0}}});
+
+  std::printf("filter: %s EnKF, %d members, analysis after %.0f min, "
+              "ignition offset %.0f m\n",
+              filter.c_str(), members, minutes, offset);
+
+  const double t = minutes * 60.0;
+  const core::ObservationImage obs = pool.observe_at(t);
+  cycle.advance_to(t);
+
+  const auto& truth_psi = pool.truth().state().psi;
+  std::printf("before analysis: position error %.1f m, shape error %.2f ha, "
+              "spread %.1f\n",
+              cycle.mean_position_error(truth_psi),
+              cycle.mean_shape_error(truth_psi) / 1e4, cycle.state_spread());
+
+  const core::AnalysisResult res = cycle.assimilate(obs);
+  std::printf("after analysis:  position error %.1f m, shape error %.2f ha, "
+              "spread %.1f\n",
+              cycle.mean_position_error(truth_psi),
+              cycle.mean_shape_error(truth_psi) / 1e4, cycle.state_spread());
+  std::printf("EnKF: %d obs, %d state dims, innovation rms %.1f, increment "
+              "rms %.1f\n",
+              res.enkf.m, res.enkf.n, res.enkf.innovation_rms,
+              res.enkf.increment_rms);
+
+  // Images: data vs the first member's heat flux after analysis.
+  util::write_false_color("assim_data.ppm", obs.image, 0.0, 60000.0);
+  const fire::FireModel& m0 = cycle.member(0);
+  const util::Array2D<double> synth = wfire::obs::heat_flux_image(
+      m0.fuel(), m0.state().tig, m0.state().time);
+  util::write_false_color("assim_member0.ppm", synth, 0.0, 60000.0);
+  std::printf("wrote assim_data.ppm, assim_member0.ppm\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Geometric multigrid V-cycle for the pressure Poisson equation. Standard
+// components: red-black Gauss-Seidel smoothing, 8-cell averaging restriction
+// (cell-centered factor-2 coarsening), trilinear-ish prolongation, SOR on the
+// coarsest level. Coarsening stops when any dimension is odd or < 4.
+//
+// For the 60 m / 6 m reference configuration one projection converges in a
+// handful of V-cycles; bench_sub_poisson compares against plain SOR.
+#pragma once
+
+#include <vector>
+
+#include "atmos/poisson.h"
+
+namespace wfire::atmos {
+
+struct MultigridOptions {
+  int pre_smooth = 2;    // RB-GS sweeps before coarse correction
+  int post_smooth = 2;   // sweeps after
+  int max_cycles = 50;
+  double tol = 1e-8;     // max-norm residual target
+  double omega = 1.15;   // smoother relaxation
+  int coarse_iters = 60; // SOR sweeps on the coarsest level
+};
+
+class Multigrid {
+ public:
+  explicit Multigrid(const grid::Grid3D& fine, MultigridOptions opt = {});
+
+  // Solves Laplacian(phi) = rhs; phi is initial guess and result.
+  SolveStats solve(const Field3& rhs, Field3& phi);
+
+  [[nodiscard]] int levels() const { return static_cast<int>(grids_.size()); }
+
+ private:
+  void vcycle(std::size_t level, const Field3& rhs, Field3& phi);
+
+  MultigridOptions opt_;
+  std::vector<grid::Grid3D> grids_;          // [0] = finest
+  std::vector<Field3> rhs_buf_, phi_buf_, res_buf_;
+};
+
+// Restriction / prolongation for cell-centered factor-2 coarsening
+// (exposed for unit tests).
+void mg_restrict(const Field3& fine, Field3& coarse);
+void mg_prolong_add(const Field3& coarse, Field3& fine);
+
+}  // namespace wfire::atmos

@@ -1,0 +1,47 @@
+// Pressure Poisson problem for the anelastic projection:
+//   Laplacian(phi) = rhs   on a cell-centered grid,
+// periodic in x and y, homogeneous Neumann in z (w is pinned at bottom/top).
+// The operator has a constant null space; solvers work in the zero-mean
+// subspace. This header defines the operator and a red-black SOR solver;
+// multigrid.h builds a V-cycle on top of the same operator.
+#pragma once
+
+#include "grid/grid3d.h"
+#include "util/array3d.h"
+
+namespace wfire::atmos {
+
+using Field3 = util::Array3D<double>;
+
+// out = Laplacian(phi) with the BCs above.
+void apply_laplacian(const grid::Grid3D& g, const Field3& phi, Field3& out);
+
+// r = rhs - Laplacian(phi); returns max-norm of r.
+double residual(const grid::Grid3D& g, const Field3& phi, const Field3& rhs,
+                Field3& r);
+
+// Subtracts the mean so the field lies in the operator's range/complement.
+void remove_mean(Field3& f);
+
+struct SorOptions {
+  double omega = 1.7;   // over-relaxation factor
+  double tol = 1e-8;    // max-norm residual target (absolute)
+  int max_iters = 5000;
+};
+
+struct SolveStats {
+  int iterations = 0;
+  double final_residual = 0;
+  bool converged = false;
+};
+
+// Red-black SOR. phi is both the initial guess and the solution.
+SolveStats solve_sor(const grid::Grid3D& g, const Field3& rhs, Field3& phi,
+                     const SorOptions& opt = {});
+
+// One red-black Gauss-Seidel sweep with relaxation omega (multigrid
+// smoother; exposed for tests).
+void rbgs_sweep(const grid::Grid3D& g, const Field3& rhs, Field3& phi,
+                double omega);
+
+}  // namespace wfire::atmos

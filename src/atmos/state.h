@@ -1,0 +1,72 @@
+// Atmospheric state on an Arakawa-C staggered grid (WrfLite, the repo's WRF
+// substitute; see DESIGN.md for the substitution rationale).
+//
+// Prognostic fields (periodic laterally, non-redundant face storage):
+//   u : x-velocity, dims (nx, ny, nz); u(i,j,k) lives on the LEFT x-face of
+//       cell i (at x = i*dx). The right face of cell nx-1 is u(0,...) by
+//       periodicity.
+//   v : y-velocity, dims (nx, ny, nz); v(i,j,k) on the FRONT y-face of cell j.
+//   w : z-velocity, dims (nx, ny, nz+1); w(i,j,0) = w(i,j,nz) = 0 (rigid
+//       bottom, rigid lid with sponge below it).
+//   theta : potential temperature *perturbation* from the ambient profile [K]
+//   qv    : water vapor mixing ratio perturbation [kg/kg]
+// Scalars are cell-centered with dims (nx, ny, nz).
+//
+// The ambient (base) state is horizontally uniform: theta_amb(z) with a
+// stable lapse and a logarithmic wind profile. Perturbation form keeps the
+// numerics well-conditioned and makes the fire forcing explicit.
+#pragma once
+
+#include "grid/grid3d.h"
+#include "util/array3d.h"
+
+namespace wfire::atmos {
+
+struct AmbientProfile {
+  double theta0 = 300.0;       // surface potential temperature [K]
+  double lapse = 0.003;        // d(theta)/dz [K/m] (stable stratification)
+  double wind_u = 0.0;         // reference wind at/above 100 m [m/s]
+  double wind_v = 0.0;
+  double roughness_z0 = 0.5;   // log-profile roughness length [m]
+
+  // Ambient theta at height z.
+  [[nodiscard]] double theta(double z) const { return theta0 + lapse * z; }
+
+  // Log-profile shape factor in [0, 1]: u(z) = wind_u * wind_profile(z).
+  [[nodiscard]] double wind_profile(double z) const;
+};
+
+struct AtmosState {
+  util::Array3D<double> u, v, w, theta, qv;
+
+  AtmosState() = default;
+  explicit AtmosState(const grid::Grid3D& g)
+      : u(g.nx, g.ny, g.nz, 0.0),
+        v(g.nx, g.ny + 0, g.nz, 0.0),
+        w(g.nx, g.ny, g.nz + 1, 0.0),
+        theta(g.nx, g.ny, g.nz, 0.0),
+        qv(g.nx, g.ny, g.nz, 0.0) {}
+};
+
+// Initializes u, v to the ambient log profile, zero w and perturbations;
+// a horizontally uniform wind is discretely divergence-free.
+void initialize_ambient(const grid::Grid3D& g, const AmbientProfile& amb,
+                        AtmosState& s);
+
+// Divergence of the staggered velocity at cell (i, j, k).
+[[nodiscard]] double cell_divergence(const grid::Grid3D& g,
+                                     const AtmosState& s, int i, int j, int k);
+
+// Maximum |div u| over cells (projection quality diagnostic).
+[[nodiscard]] double max_divergence(const grid::Grid3D& g,
+                                    const AtmosState& s);
+
+// Advective CFL number (|u|/dx + |v|/dy + |w|/dz)_max * dt.
+[[nodiscard]] double advective_cfl(const grid::Grid3D& g, const AtmosState& s,
+                                   double dt);
+
+// Horizontal wind (u, v) destaggered to the center of cell (i, j, k).
+void cell_center_wind(const grid::Grid3D& g, const AtmosState& s, int i,
+                      int j, int k, double& uc, double& vc);
+
+}  // namespace wfire::atmos

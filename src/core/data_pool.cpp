@@ -1,0 +1,30 @@
+#include "core/data_pool.h"
+
+#include <stdexcept>
+
+#include "obs/obs_function.h"
+
+namespace wfire::core {
+
+DataPool::DataPool(std::unique_ptr<fire::FireModel> truth, DataPoolOptions opt,
+                   util::Rng rng)
+    : truth_(std::move(truth)), opt_(opt), rng_(rng) {
+  if (!truth_) throw std::invalid_argument("DataPool: null truth model");
+}
+
+ObservationImage DataPool::observe_at(double time) {
+  while (truth_->state().time < time - 1e-9) {
+    const double remaining = time - truth_->state().time;
+    truth_->step_uniform_wind(std::min(opt_.dt, remaining), opt_.wind_u,
+                              opt_.wind_v);
+  }
+  ObservationImage obs;
+  obs.time = truth_->state().time;
+  obs.noise_std = opt_.noise_std;
+  obs.image = obs::heat_flux_image(truth_->fuel(), truth_->state().tig,
+                                   truth_->state().time);
+  for (double& v : obs.image) v += opt_.noise_std * rng_.normal();
+  return obs;
+}
+
+}  // namespace wfire::core

@@ -1,0 +1,48 @@
+// The "real data pool" of the paper's Fig. 2, realized as a twin experiment:
+// a hidden truth fire model produces heat-flux images at scheduled times
+// through the same observation function the ensemble uses, plus additive
+// noise. This is exactly the methodology of the paper's Fig. 4 ("the
+// reference solution is the simulated data").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fire/model.h"
+#include "util/rng.h"
+
+namespace wfire::core {
+
+struct ObservationImage {
+  double time = 0;                  // observation validity time [s]
+  util::Array2D<double> image;      // noisy heat-flux image [W/m^2]
+  double noise_std = 0;             // the std of the added noise
+};
+
+struct DataPoolOptions {
+  double dt = 0.5;            // truth-model time step [s]
+  double noise_std = 2000.0;  // image noise std [W/m^2]
+  double wind_u = 3.0;        // truth ambient wind [m/s]
+  double wind_v = 0.0;
+};
+
+class DataPool {
+ public:
+  // Takes ownership of the truth model (already ignited).
+  DataPool(std::unique_ptr<fire::FireModel> truth, DataPoolOptions opt,
+           util::Rng rng);
+
+  // Advances the truth to `time` and returns the noisy observation image.
+  ObservationImage observe_at(double time);
+
+  // Noise-free truth access for skill scoring (never used by the filter).
+  [[nodiscard]] const fire::FireModel& truth() const { return *truth_; }
+
+ private:
+  std::unique_ptr<fire::FireModel> truth_;
+  DataPoolOptions opt_;
+  util::Rng rng_;
+};
+
+}  // namespace wfire::core

@@ -1,0 +1,71 @@
+#include "core/model_state.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wfire::core {
+
+la::Vector pack_state(const fire::FireState& s, double tig_cap) {
+  const std::size_t n = s.psi.size();
+  la::Vector v(2 * n);
+  const auto psi = s.psi.span();
+  const auto tig = s.tig.span();
+  for (std::size_t i = 0; i < n; ++i) v[i] = psi[i];
+  for (std::size_t i = 0; i < n; ++i)
+    v[n + i] = std::isfinite(tig[i]) ? std::min(tig[i], tig_cap) : tig_cap;
+  return v;
+}
+
+void unpack_state(const la::Vector& v, int nx, int ny, double time,
+                  fire::FireState& out, double tig_cap) {
+  const std::size_t n = static_cast<std::size_t>(nx) * ny;
+  if (v.size() != 2 * n)
+    throw std::invalid_argument("unpack_state: size mismatch");
+  out.psi = util::Array2D<double>(nx, ny);
+  out.tig = util::Array2D<double>(nx, ny);
+  out.time = time;
+  auto psi = out.psi.span();
+  auto tig = out.tig.span();
+  for (std::size_t i = 0; i < n; ++i) psi[i] = v[i];
+  for (std::size_t i = 0; i < n; ++i)
+    tig[i] = v[n + i] > 0.5 * tig_cap ? fire::kNotIgnited : v[n + i];
+}
+
+bool burning_centroid(const grid::Grid2D& g, const util::Array2D<double>& psi,
+                      double& cx, double& cy) {
+  double sx = 0, sy = 0, count = 0;
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx; ++i)
+      if (psi(i, j) < 0) {
+        sx += g.x(i);
+        sy += g.y(j);
+        count += 1;
+      }
+  if (count == 0) return false;
+  cx = sx / count;
+  cy = sy / count;
+  return true;
+}
+
+double centroid_distance(const grid::Grid2D& g,
+                         const util::Array2D<double>& psi_a,
+                         const util::Array2D<double>& psi_b) {
+  double ax, ay, bx, by;
+  if (!burning_centroid(g, psi_a, ax, ay) ||
+      !burning_centroid(g, psi_b, bx, by))
+    return std::numeric_limits<double>::infinity();
+  return std::hypot(ax - bx, ay - by);
+}
+
+double symmetric_difference_area(const grid::Grid2D& g,
+                                 const util::Array2D<double>& psi_a,
+                                 const util::Array2D<double>& psi_b) {
+  double cells = 0;
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx; ++i)
+      if ((psi_a(i, j) < 0) != (psi_b(i, j) < 0)) cells += 1;
+  return cells * g.dx * g.dy;
+}
+
+}  // namespace wfire::core

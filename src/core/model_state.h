@@ -1,0 +1,39 @@
+// Helpers tying the assimilable fire state (psi, tig — paper Sec. 3.3) to
+// flat vectors, images, and position diagnostics used by the assimilation
+// cycle and its benches.
+#pragma once
+
+#include "fire/model.h"
+#include "la/matrix.h"
+
+namespace wfire::core {
+
+// Flattens (psi, tig) into one vector [psi..., tig...]. The unburned marker
+// +inf in tig is mapped to `tig_cap` (a large finite sentinel) so the EnKF
+// linear algebra stays finite; unpack restores +inf above 0.5 * tig_cap.
+inline constexpr double kTigCap = 1.0e6;
+
+[[nodiscard]] la::Vector pack_state(const fire::FireState& s,
+                                    double tig_cap = kTigCap);
+
+void unpack_state(const la::Vector& v, int nx, int ny, double time,
+                  fire::FireState& out, double tig_cap = kTigCap);
+
+// Centroid (x, y) of the burning region {psi < 0}, area-weighted on nodes;
+// returns false if nothing burns. The Fig. 4 position-error metric.
+bool burning_centroid(const grid::Grid2D& g, const util::Array2D<double>& psi,
+                      double& cx, double& cy);
+
+// Position error between two states: distance between burning centroids
+// [m]; +inf when either has no fire.
+[[nodiscard]] double centroid_distance(const grid::Grid2D& g,
+                                       const util::Array2D<double>& psi_a,
+                                       const util::Array2D<double>& psi_b);
+
+// Symmetric-difference area between burned regions [m^2] (a stricter shape
+// metric than the centroid distance).
+[[nodiscard]] double symmetric_difference_area(
+    const grid::Grid2D& g, const util::Array2D<double>& psi_a,
+    const util::Array2D<double>& psi_b);
+
+}  // namespace wfire::core

@@ -1,0 +1,42 @@
+#include "core/realtime.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace wfire::core {
+
+RealTimeDriver::RealTimeDriver(AssimilationCycle& cycle, DataPool& pool,
+                               RealTimeOptions opt)
+    : cycle_(cycle), pool_(pool), opt_(opt) {}
+
+std::vector<CycleRecord> RealTimeDriver::run() {
+  std::vector<CycleRecord> records;
+  records.reserve(static_cast<std::size_t>(opt_.cycles));
+  double sim_time = 0;
+  for (int c = 0; c < opt_.cycles; ++c) {
+    sim_time += opt_.cycle_interval;
+    util::Stopwatch sw;
+
+    const ObservationImage obs = pool_.observe_at(sim_time);
+    cycle_.advance_to(sim_time);
+    CycleRecord rec;
+    rec.analysis = cycle_.assimilate(obs);
+    rec.sim_time = sim_time;
+    rec.wall_seconds = sw.seconds();
+    rec.deadline_seconds = opt_.cycle_interval / opt_.speedup;
+    rec.met_deadline = rec.wall_seconds <= rec.deadline_seconds;
+    rec.position_error =
+        cycle_.mean_position_error(pool_.truth().state().psi);
+    records.push_back(rec);
+
+    if (opt_.pace && rec.wall_seconds < rec.deadline_seconds) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          rec.deadline_seconds - rec.wall_seconds));
+    }
+  }
+  return records;
+}
+
+}  // namespace wfire::core

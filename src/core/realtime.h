@@ -1,0 +1,44 @@
+// The "towards real-time" driver (paper title and Sec. 1): runs assimilation
+// cycles against the wall clock. Each cycle advances the ensemble to the
+// next observation time and assimilates; the driver records whether the
+// computation kept up with the (scaled) real-time clock — the operational
+// requirement the paper's project is building toward.
+#pragma once
+
+#include <vector>
+
+#include "core/cycle.h"
+
+namespace wfire::core {
+
+struct RealTimeOptions {
+  double cycle_interval = 60.0;  // simulated seconds between observations
+  double speedup = 60.0;         // sim seconds per wall second (>= 1)
+  int cycles = 5;
+  bool pace = false;  // sleep to hold the schedule when running ahead
+};
+
+struct CycleRecord {
+  double sim_time = 0;        // time at the end of the cycle [s]
+  double wall_seconds = 0;    // compute time of the cycle
+  double deadline_seconds = 0;// wall budget implied by the speedup
+  bool met_deadline = false;
+  AnalysisResult analysis;
+  double position_error = 0;  // vs truth after analysis [m]
+};
+
+class RealTimeDriver {
+ public:
+  RealTimeDriver(AssimilationCycle& cycle, DataPool& pool,
+                 RealTimeOptions opt);
+
+  // Runs the configured number of cycles and returns one record per cycle.
+  [[nodiscard]] std::vector<CycleRecord> run();
+
+ private:
+  AssimilationCycle& cycle_;
+  DataPool& pool_;
+  RealTimeOptions opt_;
+};
+
+}  // namespace wfire::core

@@ -1,0 +1,66 @@
+#include "coupling/coupled.h"
+
+namespace wfire::coupling {
+
+namespace {
+fire::FuelMap uniform_fuel_for(const MeshPairing& pair, int category) {
+  return fire::uniform_fuel(pair.fire.nx, pair.fire.ny, category);
+}
+}  // namespace
+
+CoupledModel::CoupledModel(const grid::Grid3D& atmos_grid,
+                           const atmos::AmbientProfile& ambient,
+                           int fuel_category, CoupledOptions opt)
+    : CoupledModel(atmos_grid, ambient,
+                   uniform_fuel_for(make_pairing(atmos_grid, opt.refine),
+                                    fuel_category),
+                   util::Array2D<double>(atmos_grid.nx * opt.refine,
+                                         atmos_grid.ny * opt.refine, 0.0),
+                   opt) {}
+
+CoupledModel::CoupledModel(const grid::Grid3D& atmos_grid,
+                           const atmos::AmbientProfile& ambient,
+                           fire::FuelMap fuel, util::Array2D<double> terrain,
+                           CoupledOptions opt)
+    : pair_(make_pairing(atmos_grid, opt.refine)),
+      atmos_(atmos_grid, ambient, opt.atmos_opt),
+      fire_(pair_.fire, std::move(fuel), std::move(terrain), opt.fire_opt),
+      inserter_(atmos_grid, opt.flux),
+      two_way_(opt.two_way),
+      wind_u_(pair_.fire.nx, pair_.fire.ny, 0.0),
+      wind_v_(pair_.fire.nx, pair_.fire.ny, 0.0),
+      sens_coarse_(atmos_grid.nx, atmos_grid.ny, 0.0),
+      lat_coarse_(atmos_grid.nx, atmos_grid.ny, 0.0),
+      theta_src_(atmos_grid.nx, atmos_grid.ny, atmos_grid.nz, 0.0),
+      qv_src_(atmos_grid.nx, atmos_grid.ny, atmos_grid.nz, 0.0) {}
+
+void CoupledModel::ignite(const std::vector<levelset::Ignition>& ignitions) {
+  fire_.ignite(ignitions);
+}
+
+CoupledStepInfo CoupledModel::step(double dt) {
+  CoupledStepInfo info;
+
+  // 1. Atmosphere -> fire: sample near-ground wind on the fire mesh.
+  sample_ground_wind(atmos_.grid(), atmos_.state(), pair_, wind_u_, wind_v_);
+
+  // 2. Advance the fire with those winds.
+  info.fire = fire_.step(dt, wind_u_, wind_v_);
+  info.fire_cfl = info.fire.step.cfl;
+
+  // 3. Fire -> atmosphere: aggregate fluxes and build decay-profile sources.
+  if (two_way_) {
+    aggregate_flux(pair_, info.fire.sensible_flux, sens_coarse_);
+    aggregate_flux(pair_, info.fire.latent_flux, lat_coarse_);
+    inserter_.insert(sens_coarse_, lat_coarse_, theta_src_, qv_src_);
+    atmos_.set_forcing(&theta_src_, &qv_src_);
+  } else {
+    atmos_.set_forcing(nullptr, nullptr);
+  }
+
+  // 4. Advance the atmosphere.
+  info.atmos = atmos_.step(dt);
+  return info;
+}
+
+}  // namespace wfire::coupling

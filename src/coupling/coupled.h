@@ -1,0 +1,79 @@
+// The coupled fire-atmosphere model (paper Sec. 2): WrfLite supplies
+// near-ground winds to the FireModel; the fire's sensible/latent heat fluxes
+// are aggregated to the atmosphere mesh and inserted as exponentially
+// decaying volumetric tendencies. Both components advance with the same time
+// step (the paper's reference: dt = 0.5 s, 60 m atmosphere mesh, 6 m fire
+// mesh, which satisfies both CFL conditions).
+//
+// `two_way = false` turns off the fire -> atmosphere feedback. The Fig. 1
+// bench uses this to demonstrate the paper's headline coupling effect: the
+// downwind front is slowed by air being pulled in and up by the fire's own
+// convection ("this kind of fire behavior cannot be modeled by empirical
+// spread models alone").
+#pragma once
+
+#include "atmos/model.h"
+#include "coupling/flux_insertion.h"
+#include "coupling/wind_sample.h"
+#include "fire/model.h"
+
+namespace wfire::coupling {
+
+struct CoupledOptions {
+  int refine = 10;                   // atmos dx / fire dx
+  bool two_way = true;               // fire heat feeds back into atmosphere
+  FluxInsertionParams flux;
+  fire::FireModelOptions fire_opt;
+  atmos::WrfLiteOptions atmos_opt;
+};
+
+struct CoupledStepInfo {
+  fire::FireOutputs fire;
+  atmos::WrfLiteStepInfo atmos;
+  double fire_cfl = 0;
+};
+
+class CoupledModel {
+ public:
+  // The fire grid/fuel/terrain are derived from the atmosphere grid and the
+  // refinement ratio; `fuel_category` fills the whole fire mesh.
+  CoupledModel(const grid::Grid3D& atmos_grid,
+               const atmos::AmbientProfile& ambient, int fuel_category,
+               CoupledOptions opt = {});
+
+  // Full construction with explicit fuel map and terrain on the fire mesh.
+  CoupledModel(const grid::Grid3D& atmos_grid,
+               const atmos::AmbientProfile& ambient, fire::FuelMap fuel,
+               util::Array2D<double> terrain, CoupledOptions opt = {});
+
+  void ignite(const std::vector<levelset::Ignition>& ignitions);
+
+  CoupledStepInfo step(double dt);
+
+  [[nodiscard]] const fire::FireModel& fire_model() const { return fire_; }
+  [[nodiscard]] fire::FireModel& fire_model() { return fire_; }
+  [[nodiscard]] const atmos::WrfLite& atmosphere() const { return atmos_; }
+  [[nodiscard]] atmos::WrfLite& atmosphere() { return atmos_; }
+  [[nodiscard]] const MeshPairing& pairing() const { return pair_; }
+  [[nodiscard]] double time() const { return fire_.state().time; }
+
+  // Last sampled fire-mesh winds (diagnostics / Fig. 1 arrows).
+  [[nodiscard]] const util::Array2D<double>& fire_wind_u() const {
+    return wind_u_;
+  }
+  [[nodiscard]] const util::Array2D<double>& fire_wind_v() const {
+    return wind_v_;
+  }
+
+ private:
+  MeshPairing pair_;
+  atmos::WrfLite atmos_;
+  fire::FireModel fire_;
+  FluxInserter inserter_;
+  bool two_way_;
+  util::Array2D<double> wind_u_, wind_v_;
+  util::Array2D<double> sens_coarse_, lat_coarse_;
+  util::Array3D<double> theta_src_, qv_src_;
+};
+
+}  // namespace wfire::coupling

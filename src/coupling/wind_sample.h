@@ -1,0 +1,39 @@
+// Atmosphere -> fire forcing: the fire model needs the horizontal wind on
+// its fine mesh (paper Sec. 2.3: "the fire model takes as input the
+// horizontal wind velocity components"). The near-ground wind is destaggered
+// from the lowest atmosphere level onto the atmosphere's horizontal node
+// mesh, then interpolated bilinearly to the fire nodes.
+#pragma once
+
+#include "atmos/state.h"
+#include "grid/grid2d.h"
+#include "util/array2d.h"
+
+namespace wfire::coupling {
+
+// Geometry tying the fire mesh to the atmosphere mesh: fire node (0,0)
+// coincides with atmosphere cell center (0,0); refine = atmos dx / fire dx
+// (the paper's reference pairing is 60 m / 6 m -> refine = 10).
+struct MeshPairing {
+  grid::Grid2D fire;       // fine fire mesh
+  grid::Grid2D atmos_hor;  // atmos cell-center mesh: (nx, ny), spacing dx, dy
+  int refine = 10;
+};
+
+// Builds the pairing for an atmosphere grid, placing fire node (0,0) at the
+// atmos cell-center origin and covering `cells_x` x `cells_y` atmos cells.
+[[nodiscard]] MeshPairing make_pairing(const grid::Grid3D& atmos, int refine);
+
+// Samples the lowest-level horizontal wind onto the fire mesh.
+void sample_ground_wind(const grid::Grid3D& g, const atmos::AtmosState& s,
+                        const MeshPairing& pair, util::Array2D<double>& fire_u,
+                        util::Array2D<double>& fire_v);
+
+// Aggregates fire-mesh flux densities (W/m^2 at fire nodes) onto the atmos
+// horizontal mesh by block averaging (conserves mean flux density, hence
+// total power).
+void aggregate_flux(const MeshPairing& pair,
+                    const util::Array2D<double>& fire_flux,
+                    util::Array2D<double>& atmos_flux);
+
+}  // namespace wfire::coupling

@@ -1,0 +1,84 @@
+#include "enkf/diagnostics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "enkf/ensemble.h"
+
+namespace wfire::enkf {
+
+double rmse_mean_vs_truth(const la::Matrix& X, const la::Vector& truth) {
+  return rmse(ensemble_mean(X), truth);
+}
+
+double rmse(const la::Vector& a, const la::Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("rmse: size mismatch");
+  if (a.empty()) return 0.0;
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+std::vector<int> rank_histogram(const la::Matrix& X, const la::Vector& truth,
+                                int stride) {
+  const int n = X.rows(), N = X.cols();
+  if (static_cast<int>(truth.size()) != n)
+    throw std::invalid_argument("rank_histogram: truth size mismatch");
+  if (stride < 1) throw std::invalid_argument("rank_histogram: stride < 1");
+  std::vector<int> hist(static_cast<std::size_t>(N) + 1, 0);
+  std::vector<double> vals(static_cast<std::size_t>(N));
+  for (int i = 0; i < n; i += stride) {
+    for (int k = 0; k < N; ++k) vals[k] = X(i, k);
+    const int rank = static_cast<int>(
+        std::count_if(vals.begin(), vals.end(),
+                      [&](double v) { return v < truth[i]; }));
+    ++hist[static_cast<std::size_t>(rank)];
+  }
+  return hist;
+}
+
+double histogram_chi2(const std::vector<int>& hist) {
+  const double total =
+      static_cast<double>(std::accumulate(hist.begin(), hist.end(), 0));
+  if (total == 0 || hist.empty()) return 0.0;
+  const double expected = total / static_cast<double>(hist.size());
+  double chi2 = 0;
+  for (const int h : hist) {
+    const double d = h - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+double crps(const la::Matrix& X, const la::Vector& truth, int stride) {
+  const int n = X.rows(), N = X.cols();
+  if (static_cast<int>(truth.size()) != n)
+    throw std::invalid_argument("crps: truth size mismatch");
+  double total = 0;
+  int count = 0;
+  std::vector<double> vals(static_cast<std::size_t>(N));
+  for (int i = 0; i < n; i += stride) {
+    for (int k = 0; k < N; ++k) vals[k] = X(i, k);
+    double t1 = 0;
+    for (int k = 0; k < N; ++k) t1 += std::abs(vals[k] - truth[i]);
+    t1 /= N;
+    std::sort(vals.begin(), vals.end());
+    // Pairwise mean |x_k - x_l| in O(N log N) using the sorted prefix sums.
+    double t2 = 0, prefix = 0;
+    for (int k = 0; k < N; ++k) {
+      t2 += vals[k] * k - prefix;
+      prefix += vals[k];
+    }
+    t2 = 2.0 * t2 / (static_cast<double>(N) * N);
+    total += t1 - 0.5 * t2;
+    ++count;
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+}  // namespace wfire::enkf

@@ -1,0 +1,36 @@
+// Assimilation skill diagnostics: RMSE against truth, ensemble spread,
+// rank (Talagrand) histograms and CRPS. These generate the "standard EnKF
+// diverges / morphing EnKF stays close" comparison of the paper's Fig. 4 in
+// quantitative form.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace wfire::enkf {
+
+// RMSE between the ensemble mean and the truth vector.
+[[nodiscard]] double rmse_mean_vs_truth(const la::Matrix& X,
+                                        const la::Vector& truth);
+
+// RMSE between two vectors.
+[[nodiscard]] double rmse(const la::Vector& a, const la::Vector& b);
+
+// Rank histogram: for each sampled coordinate, the rank of the truth within
+// the sorted member values (N+1 bins). A flat histogram indicates a
+// statistically calibrated ensemble. `stride` subsamples coordinates.
+[[nodiscard]] std::vector<int> rank_histogram(const la::Matrix& X,
+                                              const la::Vector& truth,
+                                              int stride = 1);
+
+// Chi-square statistic of a histogram against uniformity (small = flat).
+[[nodiscard]] double histogram_chi2(const std::vector<int>& hist);
+
+// Continuous ranked probability score of the ensemble {x_k} for scalar y:
+//   CRPS = mean_k |x_k - y| - (1/2) mean_{k,l} |x_k - x_l|.
+// Averaged over coordinates (subsampled by stride).
+[[nodiscard]] double crps(const la::Matrix& X, const la::Vector& truth,
+                          int stride = 1);
+
+}  // namespace wfire::enkf

@@ -1,0 +1,228 @@
+#include "enkf/enkf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "enkf/ensemble.h"
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/svd.h"
+
+namespace wfire::enkf {
+
+namespace {
+
+double rms(const la::Vector& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (const double x : v) s += x * x;
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+// Observation-space path: factor S = HA HA^T/(N-1) + R once, solve for all
+// innovation columns.
+void analyze_obs_space(la::Matrix& X, const la::Matrix& A,
+                       const la::Matrix& HA, const la::Matrix& Y,
+                       const la::Vector& r_std) {
+  const int N = X.cols();
+  const int m = HA.rows();
+  la::Matrix S(m, m, 0.0);
+  la::gemm(false, true, 1.0 / (N - 1), HA, HA, 0.0, S);
+  for (int i = 0; i < m; ++i) S(i, i) += r_std[i] * r_std[i];
+  const la::CholeskyResult chol = la::cholesky(S);
+  const la::Matrix Z = la::cholesky_solve(chol.L, Y);          // m x N
+  const la::Matrix W = la::matmul(HA, Z, /*transA=*/true);     // N x N
+  la::gemm(false, false, 1.0 / (N - 1), A, W, 1.0, X);         // X += A W/(N-1)
+}
+
+// Ensemble-space path: scale observations by R^{-1/2}, thin-SVD the scaled
+// anomalies B = R^{-1/2} HA / sqrt(N-1) = U Sigma V^T, and use
+// S~^{-1} y = U (Sigma^2+I)^{-1} U^T y + (y - U U^T y).
+void analyze_ensemble_space(la::Matrix& X, const la::Matrix& A,
+                            const la::Matrix& HA, const la::Matrix& Y,
+                            const la::Vector& r_std, double rcond) {
+  const int N = X.cols();
+  const int m = HA.rows();
+  const double inv_sqrtn1 = 1.0 / std::sqrt(static_cast<double>(N - 1));
+  la::Matrix B(m, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i)
+      B(i, k) = HA(i, k) * inv_sqrtn1 / r_std[i];
+  const la::SvdResult s = la::svd(B);
+  const int r = static_cast<int>(s.sigma.size());
+  const double cutoff = s.sigma.empty() ? 0.0 : rcond * s.sigma[0];
+
+  la::Matrix W(N, N, 0.0);  // columns: B^T Stilde^{-1} ytilde_k
+  la::Vector yt(static_cast<std::size_t>(m));
+  la::Vector p(static_cast<std::size_t>(r));
+  la::Vector sy(static_cast<std::size_t>(m));
+  for (int k = 0; k < N; ++k) {
+    for (int i = 0; i < m; ++i) yt[i] = Y(i, k) / r_std[i];
+    // p = U^T ytilde
+    for (int j = 0; j < r; ++j) {
+      double acc = 0;
+      for (int i = 0; i < m; ++i) acc += s.U(i, j) * yt[i];
+      p[j] = acc;
+    }
+    // Stilde^{-1} ytilde = ytilde + U ((1/(sigma^2+1) - 1) p)
+    sy = yt;
+    for (int j = 0; j < r; ++j) {
+      const double sig = s.sigma[j] <= cutoff ? 0.0 : s.sigma[j];
+      const double coef = (1.0 / (sig * sig + 1.0) - 1.0) * p[j];
+      for (int i = 0; i < m; ++i) sy[i] += s.U(i, j) * coef;
+    }
+    // w = B^T (Stilde^{-1} ytilde)
+    for (int c = 0; c < N; ++c) {
+      double acc = 0;
+      for (int i = 0; i < m; ++i) acc += B(i, c) * sy[i];
+      W(c, k) = acc;
+    }
+  }
+  la::gemm(false, false, inv_sqrtn1, A, W, 1.0, X);  // X += A W / sqrt(N-1)
+}
+
+}  // namespace
+
+EnKFStats enkf_analysis(la::Matrix& X, const la::Matrix& HX,
+                        const la::Vector& d, const la::Vector& r_std,
+                        util::Rng& rng, const EnKFOptions& opt) {
+  const int n = X.rows();
+  const int N = X.cols();
+  const int m = HX.rows();
+  if (HX.cols() != N) throw std::invalid_argument("enkf: HX column mismatch");
+  if (static_cast<int>(d.size()) != m || static_cast<int>(r_std.size()) != m)
+    throw std::invalid_argument("enkf: obs size mismatch");
+  if (N < 2) throw std::invalid_argument("enkf: need at least 2 members");
+  for (const double r : r_std)
+    if (r <= 0) throw std::invalid_argument("enkf: r_std must be positive");
+
+  EnKFStats stats;
+  stats.n = n;
+  stats.m = m;
+  stats.N = N;
+
+  la::Matrix Xi = X;  // keep forecast for increment diagnostics
+  inflate(X, opt.inflation);
+  la::Matrix HXi = HX;
+  inflate(HXi, opt.inflation);
+
+  const la::Matrix A = anomalies(X);
+  const la::Matrix HA = anomalies(HXi);
+
+  // Innovations with perturbed observations: Y(:,k) = d + e_k - HX(:,k).
+  la::Matrix Y(m, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i)
+      Y(i, k) = d[i] + r_std[i] * rng.normal() - HXi(i, k);
+
+  {
+    const la::Vector hxm = ensemble_mean(HXi);
+    la::Vector innov(d.size());
+    for (int i = 0; i < m; ++i) innov[i] = d[i] - hxm[i];
+    stats.innovation_rms = rms(innov);
+  }
+
+  SolverPath path = opt.path;
+  if (path == SolverPath::kAuto)
+    path = (m <= 2 * N) ? SolverPath::kObsSpace : SolverPath::kEnsembleSpace;
+  stats.path_used = path;
+
+  if (path == SolverPath::kObsSpace)
+    analyze_obs_space(X, A, HA, Y, r_std);
+  else
+    analyze_ensemble_space(X, A, HA, Y, r_std, opt.svd_rcond);
+
+  {
+    const la::Vector ma = ensemble_mean(X);
+    const la::Vector mf = ensemble_mean(Xi);
+    la::Vector inc(ma.size());
+    for (int i = 0; i < n; ++i) inc[i] = ma[i] - mf[i];
+    stats.increment_rms = rms(inc);
+  }
+  return stats;
+}
+
+EnKFStats enkf_sequential(la::Matrix& X, la::Matrix& HX, const la::Vector& d,
+                          const la::Vector& r_std, util::Rng& rng,
+                          const SequentialOptions& opt) {
+  const int n = X.rows();
+  const int N = X.cols();
+  const int m = HX.rows();
+  if (HX.cols() != N) throw std::invalid_argument("enkf_seq: HX mismatch");
+  if (static_cast<int>(d.size()) != m || static_cast<int>(r_std.size()) != m)
+    throw std::invalid_argument("enkf_seq: obs size mismatch");
+  if (N < 2) throw std::invalid_argument("enkf_seq: need >= 2 members");
+
+  EnKFStats stats;
+  stats.n = n;
+  stats.m = m;
+  stats.N = N;
+  stats.path_used = SolverPath::kObsSpace;
+
+  inflate(X, opt.inflation);
+  inflate(HX, opt.inflation);
+
+  {
+    const la::Vector hxm = ensemble_mean(HX);
+    la::Vector innov(d.size());
+    for (int i = 0; i < m; ++i) innov[i] = d[i] - hxm[i];
+    stats.innovation_rms = rms(innov);
+  }
+  const la::Vector mean_before = ensemble_mean(X);
+
+  la::Vector ha(static_cast<std::size_t>(N));
+  la::Vector px(static_cast<std::size_t>(n));
+  la::Vector ph(static_cast<std::size_t>(m));
+  for (int o = 0; o < m; ++o) {
+    // Anomalies of the current obs coordinate.
+    double hm = 0;
+    for (int k = 0; k < N; ++k) hm += HX(o, k);
+    hm /= N;
+    double var = 0;
+    for (int k = 0; k < N; ++k) {
+      ha[k] = HX(o, k) - hm;
+      var += ha[k] * ha[k];
+    }
+    var /= (N - 1);
+    const double denom = var + r_std[o] * r_std[o];
+    if (denom <= 0) continue;
+
+    // Cross covariances state-obs and obs-obs.
+    const la::Vector xm = ensemble_mean(X);
+    const la::Vector hxm2 = ensemble_mean(HX);
+    std::fill(px.begin(), px.end(), 0.0);
+    std::fill(ph.begin(), ph.end(), 0.0);
+    for (int k = 0; k < N; ++k) {
+      const auto xc = X.col(k);
+      for (int i = 0; i < n; ++i) px[i] += (xc[i] - xm[i]) * ha[k];
+      const auto hc = HX.col(k);
+      for (int i = 0; i < m; ++i) ph[i] += (hc[i] - hxm2[i]) * ha[k];
+    }
+    const double invn1 = 1.0 / (N - 1);
+    for (double& v : px) v *= invn1;
+    for (double& v : ph) v *= invn1;
+
+    if (opt.state_obs_taper)
+      for (int i = 0; i < n; ++i) px[i] *= opt.state_obs_taper(i, o, opt.taper_ctx);
+    if (opt.obs_obs_taper)
+      for (int i = 0; i < m; ++i) ph[i] *= opt.obs_obs_taper(i, o, opt.taper_ctx);
+
+    // Update every member with its perturbed innovation.
+    for (int k = 0; k < N; ++k) {
+      const double innov = d[o] + r_std[o] * rng.normal() - HX(o, k);
+      const double alpha = innov / denom;
+      auto xc = X.col(k);
+      for (int i = 0; i < n; ++i) xc[i] += alpha * px[i];
+      auto hc = HX.col(k);
+      for (int i = 0; i < m; ++i) hc[i] += alpha * ph[i];
+    }
+  }
+
+  const la::Vector mean_after = ensemble_mean(X);
+  la::Vector inc(mean_after.size());
+  for (int i = 0; i < n; ++i) inc[i] = mean_after[i] - mean_before[i];
+  stats.increment_rms = rms(inc);
+  return stats;
+}
+
+}  // namespace wfire::enkf

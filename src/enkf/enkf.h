@@ -1,0 +1,66 @@
+// The ensemble Kalman filter (paper Sec. 3.3, after Evensen 2003): the
+// stochastic (perturbed-observations) analysis replacing the forecast
+// ensemble by linear combinations whose coefficients solve a least-squares
+// balance between the change in state and the distance to the data.
+//
+//   X_a = X_f + (1/(N-1)) A (HA)^T S^{-1} (D - HX),
+//   S = (HA)(HA)^T/(N-1) + R,   D = d 1^T + E,  E_k ~ N(0, R),
+//
+// where A and HA are state and observation anomalies. Two algebraically
+// equivalent solver paths are provided:
+//  - observation space: Cholesky of the m x m matrix S (best when m is
+//    small, e.g. weather stations);
+//  - ensemble space: thin SVD of R^{-1/2} HA / sqrt(N-1), cost O(m N^2)
+//    (best when m >> N, e.g. infrared image observations).
+#pragma once
+
+#include <string>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace wfire::enkf {
+
+enum class SolverPath { kAuto, kObsSpace, kEnsembleSpace };
+
+struct EnKFOptions {
+  double inflation = 1.0;        // multiplicative, applied pre-analysis
+  SolverPath path = SolverPath::kAuto;
+  double svd_rcond = 1e-10;      // pseudo-inverse cutoff (ensemble path)
+};
+
+struct EnKFStats {
+  SolverPath path_used = SolverPath::kObsSpace;
+  int n = 0, m = 0, N = 0;
+  double innovation_rms = 0;  // RMS of d - H(mean) before analysis
+  double increment_rms = 0;   // RMS change of the ensemble mean
+};
+
+// Stochastic EnKF analysis, in place on X.
+//   X  : n x N forecast ensemble (overwritten with the analysis)
+//   HX : m x N observed ensemble (observation function of each member)
+//   d  : m observations
+//   r_std : m observation error standard deviations (R = diag(r_std^2))
+EnKFStats enkf_analysis(la::Matrix& X, const la::Matrix& HX,
+                        const la::Vector& d, const la::Vector& r_std,
+                        util::Rng& rng, const EnKFOptions& opt = {});
+
+// Sequential (one observation at a time) stochastic EnKF with optional
+// Gaspari-Cohn covariance localization. `state_obs_taper(i, o)` returns the
+// taper for state coordinate i against observation o (1.0 = no taper), and
+// `obs_obs_taper(o1, o2)` likewise between observations (needed to keep HX
+// consistent while sweeping). Pass nullptrs for no localization.
+using TaperFn = double (*)(int, int, const void* ctx);
+
+struct SequentialOptions {
+  double inflation = 1.0;
+  TaperFn state_obs_taper = nullptr;
+  TaperFn obs_obs_taper = nullptr;
+  const void* taper_ctx = nullptr;
+};
+
+EnKFStats enkf_sequential(la::Matrix& X, la::Matrix& HX, const la::Vector& d,
+                          const la::Vector& r_std, util::Rng& rng,
+                          const SequentialOptions& opt = {});
+
+}  // namespace wfire::enkf

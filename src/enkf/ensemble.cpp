@@ -1,0 +1,77 @@
+#include "enkf/ensemble.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wfire::enkf {
+
+la::Vector ensemble_mean(const la::Matrix& X) {
+  const int n = X.rows(), N = X.cols();
+  if (N == 0) throw std::invalid_argument("ensemble_mean: empty ensemble");
+  la::Vector mean(static_cast<std::size_t>(n), 0.0);
+  for (int k = 0; k < N; ++k) {
+    const auto col = X.col(k);
+    for (int i = 0; i < n; ++i) mean[i] += col[i];
+  }
+  const double inv = 1.0 / N;
+  for (double& m : mean) m *= inv;
+  return mean;
+}
+
+la::Matrix anomalies(const la::Matrix& X) {
+  const la::Vector mean = ensemble_mean(X);
+  la::Matrix A = X;
+  for (int k = 0; k < X.cols(); ++k) {
+    auto col = A.col(k);
+    for (int i = 0; i < X.rows(); ++i) col[i] -= mean[i];
+  }
+  return A;
+}
+
+void inflate(la::Matrix& X, double factor) {
+  if (factor == 1.0) return;
+  const la::Vector mean = ensemble_mean(X);
+  for (int k = 0; k < X.cols(); ++k) {
+    auto col = X.col(k);
+    for (int i = 0; i < X.rows(); ++i)
+      col[i] = mean[i] + factor * (col[i] - mean[i]);
+  }
+}
+
+double spread(const la::Matrix& X) {
+  const int n = X.rows(), N = X.cols();
+  if (N < 2) return 0.0;
+  const la::Vector mean = ensemble_mean(X);
+  double total = 0;
+  for (int k = 0; k < N; ++k) {
+    const auto col = X.col(k);
+    for (int i = 0; i < n; ++i) {
+      const double d = col[i] - mean[i];
+      total += d * d;
+    }
+  }
+  return std::sqrt(total / (static_cast<double>(n) * (N - 1)));
+}
+
+la::Vector covariance_action(const la::Matrix& A, const la::Vector& v) {
+  const int N = A.cols();
+  if (N < 2) throw std::invalid_argument("covariance_action: N < 2");
+  la::Vector t(static_cast<std::size_t>(N));
+  la::gemv_t(1.0, A, v, 0.0, t);
+  la::Vector out(static_cast<std::size_t>(A.rows()));
+  la::gemv(1.0 / (N - 1), A, t, 0.0, out);
+  return out;
+}
+
+la::Matrix perturbed_ensemble(const la::Vector& base, int N, double stddev,
+                              util::Rng& rng) {
+  const int n = static_cast<int>(base.size());
+  la::Matrix X(n, N);
+  for (int k = 0; k < N; ++k) {
+    auto col = X.col(k);
+    for (int i = 0; i < n; ++i) col[i] = base[i] + stddev * rng.normal();
+  }
+  return X;
+}
+
+}  // namespace wfire::enkf

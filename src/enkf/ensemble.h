@@ -1,0 +1,36 @@
+// Ensemble containers and statistics. An ensemble of model states is stored
+// as an n x N matrix (one member per column, contiguous), mirroring the
+// paper's Fig. 2 where members live in separate files/processors and the
+// EnKF operates on the collection.
+#pragma once
+
+#include "la/blas.h"
+#include "la/matrix.h"
+#include "util/rng.h"
+
+namespace wfire::enkf {
+
+// Column-wise mean of X (length n).
+[[nodiscard]] la::Vector ensemble_mean(const la::Matrix& X);
+
+// A = X - mean * 1^T (anomaly matrix).
+[[nodiscard]] la::Matrix anomalies(const la::Matrix& X);
+
+// Multiplicative inflation about the mean: X <- mean + factor * (X - mean).
+void inflate(la::Matrix& X, double factor);
+
+// Mean ensemble spread: sqrt( mean_i( var_i ) ) with the unbiased 1/(N-1)
+// variance per coordinate. The scalar "uncertainty in the simulation,
+// computed from the spread of the whole ensemble" (paper Fig. 2 caption).
+[[nodiscard]] double spread(const la::Matrix& X);
+
+// Sample covariance action: C v = A (A^T v) / (N-1) without forming C.
+[[nodiscard]] la::Vector covariance_action(const la::Matrix& A,
+                                           const la::Vector& v);
+
+// Builds an initial ensemble by perturbing a base state with iid N(0, std^2)
+// noise (the simplest prior; smooth field perturbations live in core/).
+[[nodiscard]] la::Matrix perturbed_ensemble(const la::Vector& base, int N,
+                                            double stddev, util::Rng& rng);
+
+}  // namespace wfire::enkf

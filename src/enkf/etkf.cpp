@@ -1,0 +1,93 @@
+#include "enkf/etkf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "enkf/ensemble.h"
+#include "la/blas.h"
+#include "la/eigen_sym.h"
+
+namespace wfire::enkf {
+
+EnKFStats etkf_analysis(la::Matrix& X, const la::Matrix& HX,
+                        const la::Vector& d, const la::Vector& r_std,
+                        const EtkfOptions& opt) {
+  const int n = X.rows();
+  const int N = X.cols();
+  const int m = HX.rows();
+  if (HX.cols() != N) throw std::invalid_argument("etkf: HX column mismatch");
+  if (static_cast<int>(d.size()) != m || static_cast<int>(r_std.size()) != m)
+    throw std::invalid_argument("etkf: obs size mismatch");
+  if (N < 2) throw std::invalid_argument("etkf: need at least 2 members");
+  for (const double r : r_std)
+    if (r <= 0) throw std::invalid_argument("etkf: r_std must be positive");
+
+  EnKFStats stats;
+  stats.n = n;
+  stats.m = m;
+  stats.N = N;
+  stats.path_used = SolverPath::kEnsembleSpace;
+
+  inflate(X, opt.inflation);
+  la::Matrix HXi = HX;
+  inflate(HXi, opt.inflation);
+
+  const la::Vector xbar = ensemble_mean(X);
+  const la::Vector hbar = ensemble_mean(HXi);
+  const la::Matrix A = anomalies(X);
+  const double inv_sqrtn1 = 1.0 / std::sqrt(static_cast<double>(N - 1));
+
+  // S = R^{-1/2} HA / sqrt(N-1) and the scaled innovation.
+  la::Matrix S(m, N);
+  la::Vector ytilde(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) ytilde[i] = (d[i] - hbar[i]) / r_std[i];
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i)
+      S(i, k) = (HXi(i, k) - hbar[i]) * inv_sqrtn1 / r_std[i];
+  {
+    double s = 0;
+    for (int i = 0; i < m; ++i) s += (d[i] - hbar[i]) * (d[i] - hbar[i]);
+    stats.innovation_rms = std::sqrt(s / std::max(m, 1));
+  }
+
+  // Ptilde = (I + S^T S)^{-1} via the symmetric eigendecomposition.
+  la::Matrix StS = la::matmul(S, S, /*transA=*/true, /*transB=*/false);
+  for (int i = 0; i < N; ++i) StS(i, i) += 1.0;
+  const la::EigenSymResult eig = la::eigen_sym(StS);
+
+  // wbar = Ptilde S^T ytilde / sqrt(N-1).
+  la::Vector Sty(static_cast<std::size_t>(N), 0.0);
+  la::gemv_t(1.0, S, ytilde, 0.0, Sty);
+  // Apply Ptilde = V diag(1/lambda) V^T.
+  la::Vector tmp(static_cast<std::size_t>(N), 0.0);
+  la::gemv_t(1.0, eig.vectors, Sty, 0.0, tmp);
+  for (int i = 0; i < N; ++i) tmp[i] /= eig.values[i];
+  la::Vector wbar(static_cast<std::size_t>(N), 0.0);
+  la::gemv(inv_sqrtn1, eig.vectors, tmp, 0.0, wbar);
+
+  // W = sqrtm(Ptilde) = V diag(lambda^{-1/2}) V^T.
+  const la::Matrix W = la::matrix_function(
+      eig, [](double x) { return 1.0 / std::sqrt(x); }, 1e-12);
+
+  // Xa = xbar 1^T + A (wbar 1^T + W).
+  la::Matrix coeffs = W;  // N x N
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < N; ++i) coeffs(i, k) += wbar[i];
+  la::Matrix Xa(n, N, 0.0);
+  la::gemm(false, false, 1.0, A, coeffs, 0.0, Xa);
+  for (int k = 0; k < N; ++k) {
+    auto col = Xa.col(k);
+    for (int i = 0; i < n; ++i) col[i] += xbar[i];
+  }
+
+  {
+    const la::Vector ma = ensemble_mean(Xa);
+    double s = 0;
+    for (int i = 0; i < n; ++i) s += (ma[i] - xbar[i]) * (ma[i] - xbar[i]);
+    stats.increment_rms = std::sqrt(s / std::max(n, 1));
+  }
+  X = std::move(Xa);
+  return stats;
+}
+
+}  // namespace wfire::enkf

@@ -1,0 +1,29 @@
+// Exact Kalman filter update for linear-Gaussian problems. Not used by the
+// fire system itself; it is the ground truth the EnKF tests converge to as
+// the ensemble size grows (a property the paper's method inherits from
+// Evensen's formulation).
+#pragma once
+
+#include "la/matrix.h"
+
+namespace wfire::enkf {
+
+struct KalmanState {
+  la::Vector mean;  // n
+  la::Matrix cov;   // n x n
+};
+
+// Analysis update with observation operator H (m x n) and R = diag(r_std^2):
+//   K = P H^T (H P H^T + R)^{-1},  mean += K (d - H mean),  P = (I - K H) P.
+[[nodiscard]] KalmanState kalman_update(const KalmanState& prior,
+                                        const la::Matrix& H,
+                                        const la::Vector& d,
+                                        const la::Vector& r_std);
+
+// Forecast through linear dynamics x <- M x (+ model noise Q):
+//   mean = M mean,  P = M P M^T + Q.
+[[nodiscard]] KalmanState kalman_forecast(const KalmanState& state,
+                                          const la::Matrix& M,
+                                          const la::Matrix& Q);
+
+}  // namespace wfire::enkf

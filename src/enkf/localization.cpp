@@ -1,0 +1,24 @@
+#include "enkf/localization.h"
+
+#include <cmath>
+
+namespace wfire::enkf {
+
+double gaspari_cohn(double r, double c) {
+  if (c <= 0) return r == 0 ? 1.0 : 0.0;
+  const double z = std::abs(r) / c;
+  if (z >= 2.0) return 0.0;
+  if (z <= 1.0) {
+    // -z^5/4 + z^4/2 + 5z^3/8 - 5z^2/3 + 1
+    return ((((-0.25 * z + 0.5) * z + 0.625) * z - 5.0 / 3.0) * z * z) + 1.0;
+  }
+  // z^5/12 - z^4/2 + 5z^3/8 + 5z^2/3 - 5z + 4 - (2/3)/z
+  return ((((z / 12.0 - 0.5) * z + 0.625) * z + 5.0 / 3.0) * z - 5.0) * z +
+         4.0 - (2.0 / 3.0) / z;
+}
+
+double gaspari_cohn_2d(double x1, double y1, double x2, double y2, double c) {
+  return gaspari_cohn(std::hypot(x2 - x1, y2 - y1), c);
+}
+
+}  // namespace wfire::enkf

@@ -1,0 +1,18 @@
+// Covariance localization: the Gaspari & Cohn (1999) 5th-order piecewise
+// rational taper, the standard compactly supported correlation function used
+// with EnKFs to suppress spurious long-range sample covariances from small
+// ensembles. An extension beyond the paper (which uses 25 members and would
+// benefit); exercised by the ablation tests and the sequential filter.
+#pragma once
+
+namespace wfire::enkf {
+
+// Gaspari-Cohn taper: 1 at r = 0, exactly 0 for r >= 2c, where r is the
+// distance and c the localization half-radius.
+[[nodiscard]] double gaspari_cohn(double r, double c);
+
+// Convenience for grid fields: taper between two 2-D points.
+[[nodiscard]] double gaspari_cohn_2d(double x1, double y1, double x2,
+                                     double y2, double c);
+
+}  // namespace wfire::enkf

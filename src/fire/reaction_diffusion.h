@@ -1,0 +1,75 @@
+// Reaction-diffusion-convection fire model — the PDE substrate of the
+// paper's own earlier assimilation work (Sec. 1: "a regularization approach
+// to EnKF for wildfire [7] with a fire model by reaction-diffusion-
+// convection partial differential equations [12]", Mandel et al. 2006).
+//
+//   dT/dt    = div(k grad T) - v . grad T + A beta r(T) - C (T - Ta)
+//   dbeta/dt = -Cs beta r(T),     r(T) = exp(-B / (T - Ta))  for T > Ta,
+//
+// with T the fire-layer temperature [K] and beta the fuel supply fraction.
+// The model admits traveling combustion waves whose speed grows with the
+// reaction strength A and falls with the activation parameter B; wind
+// advects the front. It complements the level set model (Sec. 2) as the
+// second fire representation this project line assimilates into.
+#pragma once
+
+#include "grid/grid2d.h"
+#include "util/array2d.h"
+
+namespace wfire::fire {
+
+struct RdFireParams {
+  double k = 2.0;        // thermal diffusivity [m^2/s]
+  double A = 180.0;      // heating strength [K/s] at full fuel, full rate
+  double B = 250.0;      // activation temperature scale [K]
+  double C = 0.06;       // Newtonian cooling rate to ambient [1/s]
+  double Cs = 0.12;      // fuel consumption rate [1/s] at full rate
+  double Ta = 300.0;     // ambient temperature [K]
+};
+
+struct RdFireState {
+  util::Array2D<double> T;     // temperature [K]
+  util::Array2D<double> beta;  // fuel supply fraction in [0, 1]
+  double time = 0;
+};
+
+class RdFireModel {
+ public:
+  RdFireModel(const grid::Grid2D& g, RdFireParams p = {});
+
+  // Sets a hot spot: T = T_hot inside the circle, ambient elsewhere;
+  // beta = 1 everywhere (fresh fuel).
+  void ignite(double cx, double cy, double radius, double T_hot = 800.0);
+
+  // One explicit step with uniform wind (vx, vy) [m/s]: upwind advection,
+  // 5-point diffusion, pointwise reaction/cooling. Throws if dt violates
+  // the diffusive stability bound.
+  void step(double dt, double vx, double vy);
+
+  [[nodiscard]] const grid::Grid2D& grid() const { return grid_; }
+  [[nodiscard]] const RdFireState& state() const { return state_; }
+  [[nodiscard]] RdFireState& state() { return state_; }
+  [[nodiscard]] const RdFireParams& params() const { return p_; }
+
+  // Reaction rate r(T) (exposed for tests).
+  [[nodiscard]] double reaction_rate(double T) const;
+
+  // Largest dt satisfying the explicit diffusion bound dt <= h^2 / (4k)
+  // (advection is typically less restrictive at fire-scale winds).
+  [[nodiscard]] double stable_dt() const;
+
+  // --- diagnostics ---
+  // Rightmost x where T exceeds the threshold (front tracking); -inf if none.
+  [[nodiscard]] double front_position_x(double T_threshold = 400.0) const;
+  // Domain-mean fuel fraction remaining.
+  [[nodiscard]] double mean_fuel() const;
+  [[nodiscard]] double max_temperature() const;
+
+ private:
+  grid::Grid2D grid_;
+  RdFireParams p_;
+  RdFireState state_;
+  util::Array2D<double> T_new_, beta_new_;  // scratch
+};
+
+}  // namespace wfire::fire

@@ -1,0 +1,33 @@
+// The semi-empirical spread law (paper Sec. 2.1):
+//   S = R0 + a (v . n)^b + d (grad z . n),   clipped to 0 <= S <= Smax,
+// where n is the outward fireline normal from the level set function.
+// The wind term uses max(v . n, 0): backing fire is carried by R0 alone
+// (a negative fractional power would be undefined).
+#pragma once
+
+#include "fire/fuel.h"
+#include "levelset/godunov.h"
+
+namespace wfire::fire {
+
+// Pointwise law; vn = v . n [m/s], slope_n = grad z . n (dimensionless).
+[[nodiscard]] double spread_rate(const FuelCategory& fuel, double vn,
+                                 double slope_n);
+
+// Inputs for the field evaluation; all arrays are node fields on `g`.
+struct SpreadInputs {
+  const util::Array2D<double>* wind_u = nullptr;  // [m/s]
+  const util::Array2D<double>* wind_v = nullptr;  // [m/s]
+  const util::Array2D<double>* dzdx = nullptr;    // terrain gradient
+  const util::Array2D<double>* dzdy = nullptr;
+};
+
+// Evaluates S at every node from psi-derived normals. Nodes with no fuel
+// (index < 0) or exhausted fuel (fuel_frac <= min_fuel_frac) get S = 0,
+// so firebreaks and burned-out regions stop the front.
+void spread_field(const grid::Grid2D& g, const util::Array2D<double>& psi,
+                  const FuelMap& fuel, const SpreadInputs& in,
+                  const util::Array2D<double>& fuel_frac,
+                  double min_fuel_frac, util::Array2D<double>& speed);
+
+}  // namespace wfire::fire

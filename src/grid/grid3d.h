@@ -1,0 +1,35 @@
+// Uniform cell-centered 3-D grid for the atmospheric core: cells of size
+// (dx, dy, dz); scalar values live at cell centers, velocity components on
+// the staggered faces (see atmos/state.h).
+#pragma once
+
+#include <stdexcept>
+
+namespace wfire::grid {
+
+struct Grid3D {
+  int nx = 0, ny = 0, nz = 0;    // number of cells
+  double dx = 1, dy = 1, dz = 1; // cell size [m]
+
+  Grid3D() = default;
+  Grid3D(int nx_, int ny_, int nz_, double dx_, double dy_, double dz_)
+      : nx(nx_), ny(ny_), nz(nz_), dx(dx_), dy(dy_), dz(dz_) {
+    if (nx_ < 1 || ny_ < 1 || nz_ < 1 || dx_ <= 0 || dy_ <= 0 || dz_ <= 0)
+      throw std::invalid_argument("Grid3D: invalid dims/spacing");
+  }
+
+  // Cell-center coordinates.
+  [[nodiscard]] double xc(int i) const { return (i + 0.5) * dx; }
+  [[nodiscard]] double yc(int j) const { return (j + 0.5) * dy; }
+  [[nodiscard]] double zc(int k) const { return (k + 0.5) * dz; }
+
+  [[nodiscard]] double width() const { return nx * dx; }
+  [[nodiscard]] double depth() const { return ny * dy; }
+  [[nodiscard]] double height() const { return nz * dz; }
+
+  [[nodiscard]] std::size_t cell_count() const {
+    return static_cast<std::size_t>(nx) * ny * nz;
+  }
+};
+
+}  // namespace wfire::grid

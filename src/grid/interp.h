@@ -1,0 +1,39 @@
+// Interpolation on node-centered grids. The paper's weather-station operator
+// locates the containing cell "using linear interpolation of the location"
+// and samples model fields with "biquadratic interpolation" (Sec. 3.1); both
+// operations live here, together with the bilinear sampling used by the warp
+// and the wind coupling.
+#pragma once
+
+#include "grid/grid2d.h"
+#include "util/array2d.h"
+
+namespace wfire::grid {
+
+// Location of a physical point within a grid: cell indices and unit-square
+// fractions. Clamped to the valid interior so samples never read outside.
+struct CellLocation {
+  int i = 0, j = 0;       // lower-left node of the containing cell
+  double tx = 0, ty = 0;  // fractions in [0, 1]
+  bool inside = false;    // was (px, py) inside the grid before clamping?
+};
+
+[[nodiscard]] CellLocation locate(const Grid2D& g, double px, double py);
+
+// Bilinear sample of a node field at a physical point (clamped extension).
+[[nodiscard]] double bilinear(const Grid2D& g,
+                              const util::Array2D<double>& field, double px,
+                              double py);
+
+// Biquadratic (3x3 Lagrange) sample; second-order-accurate node stencil
+// centered on the node nearest to the sample point.
+[[nodiscard]] double biquadratic(const Grid2D& g,
+                                 const util::Array2D<double>& field, double px,
+                                 double py);
+
+// Bilinear sample using fractional index coordinates (fi, fj) directly;
+// used by warps where the mapping is already in grid units.
+[[nodiscard]] double bilinear_frac(const util::Array2D<double>& field,
+                                   double fi, double fj);
+
+}  // namespace wfire::grid

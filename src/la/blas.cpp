@@ -1,0 +1,117 @@
+#include "la/blas.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wfire::la {
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(const Vector& x, const Vector& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double nrm2(const Vector& x) { return std::sqrt(dot(x, x)); }
+
+void scal(double alpha, Vector& x) {
+  for (double& v : x) v *= alpha;
+}
+
+void gemv(double alpha, const Matrix& A, const Vector& x, double beta,
+          Vector& y) {
+  if (static_cast<int>(x.size()) != A.cols() ||
+      static_cast<int>(y.size()) != A.rows())
+    throw std::invalid_argument("gemv: size mismatch");
+  for (double& v : y) v *= beta;
+  // Column-major: accumulate column contributions for unit-stride access.
+  for (int j = 0; j < A.cols(); ++j) {
+    const double xj = alpha * x[j];
+    const auto col = A.col(j);
+    for (int i = 0; i < A.rows(); ++i) y[i] += col[i] * xj;
+  }
+}
+
+void gemv_t(double alpha, const Matrix& A, const Vector& x, double beta,
+            Vector& y) {
+  if (static_cast<int>(x.size()) != A.rows() ||
+      static_cast<int>(y.size()) != A.cols())
+    throw std::invalid_argument("gemv_t: size mismatch");
+  for (int j = 0; j < A.cols(); ++j) {
+    const auto col = A.col(j);
+    double s = 0;
+    for (int i = 0; i < A.rows(); ++i) s += col[i] * x[i];
+    y[j] = beta * y[j] + alpha * s;
+  }
+}
+
+namespace {
+// Element accessor honoring the transpose flag.
+inline double at(const Matrix& M, bool trans, int i, int j) {
+  return trans ? M(j, i) : M(i, j);
+}
+}  // namespace
+
+void gemm(bool transA, bool transB, double alpha, const Matrix& A,
+          const Matrix& B, double beta, Matrix& C) {
+  const int m = transA ? A.cols() : A.rows();
+  const int k = transA ? A.rows() : A.cols();
+  const int kb = transB ? B.cols() : B.rows();
+  const int n = transB ? B.rows() : B.cols();
+  if (k != kb || C.rows() != m || C.cols() != n)
+    throw std::invalid_argument("gemm: size mismatch");
+
+  constexpr int kBlock = 64;
+#pragma omp parallel for schedule(static)
+  for (int j0 = 0; j0 < n; j0 += kBlock) {
+    const int j1 = std::min(j0 + kBlock, n);
+    for (int i0 = 0; i0 < m; i0 += kBlock) {
+      const int i1 = std::min(i0 + kBlock, m);
+      for (int j = j0; j < j1; ++j)
+        for (int i = i0; i < i1; ++i) C(i, j) *= beta;
+      for (int p0 = 0; p0 < k; p0 += kBlock) {
+        const int p1 = std::min(p0 + kBlock, k);
+        for (int j = j0; j < j1; ++j) {
+          for (int p = p0; p < p1; ++p) {
+            const double bpj = alpha * at(B, transB, p, j);
+            if (bpj == 0.0) continue;
+            for (int i = i0; i < i1; ++i) C(i, j) += at(A, transA, i, p) * bpj;
+          }
+        }
+      }
+    }
+  }
+}
+
+Matrix matmul(const Matrix& A, const Matrix& B, bool transA, bool transB) {
+  const int m = transA ? A.cols() : A.rows();
+  const int n = transB ? B.rows() : B.cols();
+  Matrix C(m, n, 0.0);
+  gemm(transA, transB, 1.0, A, B, 0.0, C);
+  return C;
+}
+
+double frobenius_norm(const Matrix& A) {
+  double s = 0;
+  for (int j = 0; j < A.cols(); ++j)
+    for (int i = 0; i < A.rows(); ++i) s += A(i, j) * A(i, j);
+  return std::sqrt(s);
+}
+
+double max_abs_diff(const Matrix& A, const Matrix& B) {
+  if (A.rows() != B.rows() || A.cols() != B.cols())
+    throw std::invalid_argument("max_abs_diff: size mismatch");
+  double m = 0;
+  for (int j = 0; j < A.cols(); ++j)
+    for (int i = 0; i < A.rows(); ++i)
+      m = std::max(m, std::abs(A(i, j) - B(i, j)));
+  return m;
+}
+
+}  // namespace wfire::la

@@ -1,0 +1,37 @@
+// BLAS-like kernels on Vector/Matrix. gemm is blocked and OpenMP-parallel;
+// everything else is simple loops (the EnKF sizes are modest, clarity first).
+#pragma once
+
+#include "la/matrix.h"
+
+namespace wfire::la {
+
+// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+
+[[nodiscard]] double dot(const Vector& x, const Vector& y);
+[[nodiscard]] double nrm2(const Vector& x);
+void scal(double alpha, Vector& x);
+
+// y = alpha * A * x + beta * y  (A: m x n, x: n, y: m)
+void gemv(double alpha, const Matrix& A, const Vector& x, double beta,
+          Vector& y);
+
+// y = alpha * A^T * x + beta * y
+void gemv_t(double alpha, const Matrix& A, const Vector& x, double beta,
+            Vector& y);
+
+// C = alpha * op(A) * op(B) + beta * C with op in {identity, transpose}.
+// Blocked over columns/rows, OpenMP across the outer block loop.
+void gemm(bool transA, bool transB, double alpha, const Matrix& A,
+          const Matrix& B, double beta, Matrix& C);
+
+// Convenience: returns op(A)*op(B).
+[[nodiscard]] Matrix matmul(const Matrix& A, const Matrix& B,
+                            bool transA = false, bool transB = false);
+
+// Frobenius norm and max-abs difference (test helpers).
+[[nodiscard]] double frobenius_norm(const Matrix& A);
+[[nodiscard]] double max_abs_diff(const Matrix& A, const Matrix& B);
+
+}  // namespace wfire::la

@@ -1,0 +1,88 @@
+#include "la/cholesky.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wfire::la {
+
+namespace {
+// Attempts the factorization; returns false on a non-positive pivot.
+bool try_factor(const Matrix& A, Matrix& L) {
+  const int n = A.rows();
+  L = Matrix(n, n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    double d = A(j, j);
+    for (int p = 0; p < j; ++p) d -= L(j, p) * L(j, p);
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    L(j, j) = std::sqrt(d);
+    const double inv = 1.0 / L(j, j);
+    for (int i = j + 1; i < n; ++i) {
+      double s = A(i, j);
+      for (int p = 0; p < j; ++p) s -= L(i, p) * L(j, p);
+      L(i, j) = s * inv;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+CholeskyResult cholesky(const Matrix& A, int max_jitter_tries) {
+  if (A.rows() != A.cols())
+    throw std::invalid_argument("cholesky: matrix not square");
+  const int n = A.rows();
+  double trace = 0;
+  for (int i = 0; i < n; ++i) trace += A(i, i);
+  const double base =
+      std::numeric_limits<double>::epsilon() * std::max(trace / n, 1.0);
+
+  Matrix L;
+  if (try_factor(A, L)) return {std::move(L), 0};
+  Matrix Aj = A;
+  double shift = base;
+  for (int t = 1; t <= max_jitter_tries; ++t) {
+    shift *= 100.0;
+    for (int i = 0; i < n; ++i) Aj(i, i) = A(i, i) + shift;
+    if (try_factor(Aj, L)) return {std::move(L), t};
+  }
+  throw std::runtime_error("cholesky: matrix not SPD (jitter exhausted)");
+}
+
+void cholesky_solve(const Matrix& L, Vector& b) {
+  const int n = L.rows();
+  if (static_cast<int>(b.size()) != n)
+    throw std::invalid_argument("cholesky_solve: size mismatch");
+  // Forward substitution L y = b.
+  for (int i = 0; i < n; ++i) {
+    double s = b[i];
+    for (int p = 0; p < i; ++p) s -= L(i, p) * b[p];
+    b[i] = s / L(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (int i = n - 1; i >= 0; --i) {
+    double s = b[i];
+    for (int p = i + 1; p < n; ++p) s -= L(p, i) * b[p];
+    b[i] = s / L(i, i);
+  }
+}
+
+Matrix cholesky_solve(const Matrix& L, const Matrix& B) {
+  Matrix X = B;
+  Vector col(static_cast<std::size_t>(B.rows()));
+  for (int j = 0; j < B.cols(); ++j) {
+    const auto src = X.col(j);
+    col.assign(src.begin(), src.end());
+    cholesky_solve(L, col);
+    auto dst = X.col(j);
+    std::copy(col.begin(), col.end(), dst.begin());
+  }
+  return X;
+}
+
+double cholesky_logdet(const Matrix& L) {
+  double s = 0;
+  for (int i = 0; i < L.rows(); ++i) s += std::log(L(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace wfire::la

@@ -1,0 +1,32 @@
+// Cholesky factorization and SPD solves. The EnKF analysis solves
+// (H A (H A)^T/(N-1) + R) x = b with an SPD system matrix; Cholesky is the
+// workhorse. `jitter` retries with a scaled diagonal shift for matrices that
+// are SPD only up to roundoff (ensemble covariances are often rank-deficient).
+#pragma once
+
+#include <optional>
+
+#include "la/matrix.h"
+
+namespace wfire::la {
+
+struct CholeskyResult {
+  Matrix L;          // lower-triangular factor, A = L L^T
+  int jitter_tries;  // how many diagonal boosts were needed (0 = clean)
+};
+
+// Factors SPD matrix A. Throws std::runtime_error if the matrix is not SPD
+// even after `max_jitter_tries` diagonal boosts of (10^k * eps * trace/n).
+[[nodiscard]] CholeskyResult cholesky(const Matrix& A,
+                                      int max_jitter_tries = 3);
+
+// Solves L L^T x = b in place given the factor.
+void cholesky_solve(const Matrix& L, Vector& b);
+
+// Solves A X = B column by column; returns X.
+[[nodiscard]] Matrix cholesky_solve(const Matrix& L, const Matrix& B);
+
+// log(det(A)) from the factor (used by likelihood diagnostics).
+[[nodiscard]] double cholesky_logdet(const Matrix& L);
+
+}  // namespace wfire::la

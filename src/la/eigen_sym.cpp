@@ -1,0 +1,82 @@
+#include "la/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "la/blas.h"
+
+namespace wfire::la {
+
+EigenSymResult eigen_sym(const Matrix& A, int max_sweeps) {
+  const int n = A.rows();
+  if (A.cols() != n) throw std::invalid_argument("eigen_sym: not square");
+  double asym = 0, scale = 0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      asym = std::max(asym, std::abs(A(i, j) - A(j, i)));
+      scale = std::max(scale, std::abs(A(i, j)));
+    }
+  if (asym > 1e-10 * std::max(scale, 1.0))
+    throw std::invalid_argument("eigen_sym: matrix not symmetric");
+
+  Matrix D = A;
+  Matrix V = Matrix::identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0;
+    for (int p = 0; p < n - 1; ++p)
+      for (int q = p + 1; q < n; ++q) off += D(p, q) * D(p, q);
+    if (std::sqrt(off) < 1e-14 * std::max(scale, 1.0)) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (std::abs(D(p, q)) < 1e-300) continue;
+        const double tau = (D(q, q) - D(p, p)) / (2.0 * D(p, q));
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int i = 0; i < n; ++i) {
+          const double dip = D(i, p), diq = D(i, q);
+          D(i, p) = c * dip - s * diq;
+          D(i, q) = s * dip + c * diq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double dpi = D(p, i), dqi = D(q, i);
+          D(p, i) = c * dpi - s * dqi;
+          D(q, i) = s * dpi + c * dqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = V(i, p), viq = V(i, q);
+          V(i, p) = c * vip - s * viq;
+          V(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  EigenSymResult r{Vector(static_cast<std::size_t>(n)), Matrix(n, n)};
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return D(a, a) < D(b, b); });
+  for (int jj = 0; jj < n; ++jj) {
+    const int j = order[jj];
+    r.values[jj] = D(j, j);
+    for (int i = 0; i < n; ++i) r.vectors(i, jj) = V(i, j);
+  }
+  return r;
+}
+
+Matrix matrix_function(const EigenSymResult& e, double (*f)(double),
+                       double floor) {
+  const int n = e.vectors.rows();
+  Matrix scaled = e.vectors;  // columns scaled by f(lambda)
+  for (int j = 0; j < n; ++j) {
+    const double fl = f(std::max(e.values[j], floor));
+    for (int i = 0; i < n; ++i) scaled(i, j) *= fl;
+  }
+  return matmul(scaled, e.vectors, false, true);
+}
+
+}  // namespace wfire::la

@@ -1,0 +1,23 @@
+// Symmetric eigendecomposition by cyclic Jacobi rotations. Used by the
+// deterministic (square-root) EnKF variant and covariance diagnostics.
+#pragma once
+
+#include "la/matrix.h"
+
+namespace wfire::la {
+
+struct EigenSymResult {
+  Vector values;  // ascending
+  Matrix vectors; // columns are the corresponding orthonormal eigenvectors
+};
+
+// A must be symmetric (enforced up to 1e-10 * ||A||_F, else throws).
+[[nodiscard]] EigenSymResult eigen_sym(const Matrix& A, int max_sweeps = 60);
+
+// Computes f(A) = V f(D) V^T for an SPD-compatible scalar function
+// (e.g. inverse square root for the ETKF transform). Eigenvalues below
+// `floor` are clamped before applying f.
+[[nodiscard]] Matrix matrix_function(const EigenSymResult& e,
+                                     double (*f)(double), double floor = 0.0);
+
+}  // namespace wfire::la

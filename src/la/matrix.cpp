@@ -1,0 +1,25 @@
+#include "la/matrix.h"
+
+namespace wfire::la {
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n, 0.0);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random_normal(int rows, int cols, util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i) m(i, j) = rng.normal();
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (int j = 0; j < cols_; ++j)
+    for (int i = 0; i < rows_; ++i) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+}  // namespace wfire::la

@@ -1,0 +1,72 @@
+// Dense column-major matrix and vector types for the EnKF linear algebra
+// (paper Fig. 2, "parallel linear algebra" box). Column-major so ensemble
+// members (columns of the state matrix) are contiguous.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace wfire::la {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("Matrix: negative dims");
+  }
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  double& operator()(int i, int j) {
+    WFIRE_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "Matrix index");
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  double operator()(int i, int j) const {
+    WFIRE_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "Matrix index");
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  // Contiguous view of column j.
+  [[nodiscard]] std::span<double> col(int j) {
+    WFIRE_ASSERT(j >= 0 && j < cols_, "Matrix column index");
+    return {data_.data() + static_cast<std::size_t>(j) * rows_,
+            static_cast<std::size_t>(rows_)};
+  }
+  [[nodiscard]] std::span<const double> col(int j) const {
+    WFIRE_ASSERT(j >= 0 && j < cols_, "Matrix column index");
+    return {data_.data() + static_cast<std::size_t>(j) * rows_,
+            static_cast<std::size_t>(rows_)};
+  }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] static Matrix identity(int n);
+
+  // Matrix with iid N(0,1) entries (used by tests and EnKF perturbations).
+  [[nodiscard]] static Matrix random_normal(int rows, int cols,
+                                            util::Rng& rng);
+
+  [[nodiscard]] Matrix transposed() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace wfire::la

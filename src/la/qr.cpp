@@ -1,0 +1,126 @@
+#include "la/qr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wfire::la {
+
+QrFactor qr_factor(const Matrix& A) {
+  const int m = A.rows();
+  const int n = A.cols();
+  if (m < n) throw std::invalid_argument("qr_factor: requires m >= n");
+  QrFactor f{A, Vector(static_cast<std::size_t>(n), 0.0)};
+  Matrix& R = f.qr;
+  for (int j = 0; j < n; ++j) {
+    // Build the Householder reflector for column j.
+    double norm = 0;
+    for (int i = j; i < m; ++i) norm += R(i, j) * R(i, j);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      f.beta[j] = 0.0;
+      continue;
+    }
+    const double alpha = R(j, j) >= 0 ? -norm : norm;
+    const double v0 = R(j, j) - alpha;
+    f.beta[j] = -v0 / alpha;  // 2 / (v^T v) with v scaled so v[j] = 1
+    const double inv_v0 = 1.0 / v0;
+    for (int i = j + 1; i < m; ++i) R(i, j) *= inv_v0;
+    R(j, j) = alpha;
+    // Apply the reflector to the trailing columns.
+    for (int k = j + 1; k < n; ++k) {
+      double s = R(j, k);
+      for (int i = j + 1; i < m; ++i) s += R(i, j) * R(i, k);
+      s *= f.beta[j];
+      R(j, k) -= s;
+      for (int i = j + 1; i < m; ++i) R(i, k) -= s * R(i, j);
+    }
+  }
+  return f;
+}
+
+void apply_qt(const QrFactor& f, Vector& v) {
+  const int m = f.qr.rows();
+  const int n = f.qr.cols();
+  if (static_cast<int>(v.size()) != m)
+    throw std::invalid_argument("apply_qt: size mismatch");
+  for (int j = 0; j < n; ++j) {
+    if (f.beta[j] == 0.0) continue;
+    double s = v[j];
+    for (int i = j + 1; i < m; ++i) s += f.qr(i, j) * v[i];
+    s *= f.beta[j];
+    v[j] -= s;
+    for (int i = j + 1; i < m; ++i) v[i] -= s * f.qr(i, j);
+  }
+}
+
+Vector least_squares(const Matrix& A, const Vector& b) {
+  if (static_cast<int>(b.size()) != A.rows())
+    throw std::invalid_argument("least_squares: size mismatch");
+  const QrFactor f = qr_factor(A);
+  Vector y = b;
+  apply_qt(f, y);
+  const int n = A.cols();
+  Vector x(static_cast<std::size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    if (f.qr(i, i) == 0.0)
+      throw std::runtime_error("least_squares: rank-deficient system");
+    double s = y[i];
+    for (int k = i + 1; k < n; ++k) s -= f.qr(i, k) * x[k];
+    x[i] = s / f.qr(i, i);
+  }
+  return x;
+}
+
+Matrix least_squares(const Matrix& A, const Matrix& B) {
+  if (B.rows() != A.rows())
+    throw std::invalid_argument("least_squares: size mismatch");
+  const QrFactor f = qr_factor(A);
+  const int n = A.cols();
+  Matrix X(n, B.cols());
+  Vector y(static_cast<std::size_t>(A.rows()));
+  for (int j = 0; j < B.cols(); ++j) {
+    const auto src = B.col(j);
+    y.assign(src.begin(), src.end());
+    apply_qt(f, y);
+    for (int i = n - 1; i >= 0; --i) {
+      if (f.qr(i, i) == 0.0)
+        throw std::runtime_error("least_squares: rank-deficient system");
+      double s = y[i];
+      for (int k = i + 1; k < n; ++k) s -= f.qr(i, k) * X(k, j);
+      X(i, j) = s / f.qr(i, i);
+    }
+  }
+  return X;
+}
+
+Matrix economy_q(const QrFactor& f) {
+  const int m = f.qr.rows();
+  const int n = f.qr.cols();
+  Matrix Q(m, n, 0.0);
+  Vector e(static_cast<std::size_t>(m));
+  for (int j = 0; j < n; ++j) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[j] = 1.0;
+    // Q e_j = H_0 H_1 ... H_{n-1} e_j, apply reflectors in reverse.
+    for (int p = n - 1; p >= 0; --p) {
+      if (f.beta[p] == 0.0) continue;
+      double s = e[p];
+      for (int i = p + 1; i < m; ++i) s += f.qr(i, p) * e[i];
+      s *= f.beta[p];
+      e[p] -= s;
+      for (int i = p + 1; i < m; ++i) e[i] -= s * f.qr(i, p);
+    }
+    for (int i = 0; i < m; ++i) Q(i, j) = e[i];
+  }
+  return Q;
+}
+
+Matrix economy_r(const QrFactor& f) {
+  const int n = f.qr.cols();
+  Matrix R(n, n, 0.0);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) R(i, j) = f.qr(i, j);
+  return R;
+}
+
+}  // namespace wfire::la

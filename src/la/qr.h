@@ -1,0 +1,37 @@
+// Householder QR with least-squares solve. The EnKF replaces the ensemble by
+// linear combinations "with the coefficients obtained by solving a least
+// squares problem" (paper Sec. 3.3); this is that solver, also used by the
+// registration smoothness fits and tested against the normal equations.
+#pragma once
+
+#include "la/matrix.h"
+
+namespace wfire::la {
+
+struct QrFactor {
+  // Householder vectors stored below the diagonal of `qr`, R on/above it.
+  Matrix qr;
+  Vector beta;  // Householder scalars
+};
+
+// Factors A (m x n, m >= n). Throws on m < n.
+[[nodiscard]] QrFactor qr_factor(const Matrix& A);
+
+// Minimizes ||A x - b||_2; returns x (size n). Rank deficiency is reported
+// via std::runtime_error (zero diagonal in R).
+[[nodiscard]] Vector least_squares(const Matrix& A, const Vector& b);
+
+// Multi-RHS variant: returns X with columns solving each column of B.
+[[nodiscard]] Matrix least_squares(const Matrix& A, const Matrix& B);
+
+// Applies Q^T to a vector (in place, size m) given the factor.
+void apply_qt(const QrFactor& f, Vector& v);
+
+// Extracts the economy Q (m x n) by applying Householder reflectors to the
+// first n columns of the identity.
+[[nodiscard]] Matrix economy_q(const QrFactor& f);
+
+// Extracts the n x n upper-triangular R.
+[[nodiscard]] Matrix economy_r(const QrFactor& f);
+
+}  // namespace wfire::la

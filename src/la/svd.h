@@ -1,0 +1,24 @@
+// One-sided Jacobi SVD. Used by the EnKF ensemble-space solver (pseudo-
+// inverse of H A when observations outnumber members) and by morphing
+// diagnostics. Accurate for the small/skinny matrices wfire produces.
+#pragma once
+
+#include "la/matrix.h"
+
+namespace wfire::la {
+
+struct SvdResult {
+  Matrix U;      // m x r with orthonormal columns
+  Vector sigma;  // r singular values, descending
+  Matrix V;      // n x r with orthonormal columns, A = U diag(sigma) V^T
+};
+
+// Computes the thin SVD of A (any shape); r = min(m, n).
+[[nodiscard]] SvdResult svd(const Matrix& A, int max_sweeps = 60);
+
+// Minimum-norm least-squares solve via the pseudo-inverse: x = V S^+ U^T b.
+// Singular values below rcond * sigma_max are treated as zero.
+[[nodiscard]] Vector svd_solve(const SvdResult& s, const Vector& b,
+                               double rcond = 1e-12);
+
+}  // namespace wfire::la

@@ -1,0 +1,109 @@
+#include "levelset/fast_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "levelset/godunov.h"
+
+namespace wfire::levelset {
+
+namespace {
+
+// Local Eikonal update at a node given the smallest neighbor distances a
+// (x-direction) and b (y-direction): solve (d-a)+^2/hx^2 + (d-b)+^2/hy^2 = 1.
+double eikonal_update(double a, double b, double hx, double hy) {
+  if (a > b) {
+    std::swap(a, b);
+    std::swap(hx, hy);
+  }
+  // Try the one-sided solution first.
+  double d = a + hx;
+  if (d <= b) return d;
+  // Two-sided quadratic solution.
+  const double hx2 = hx * hx, hy2 = hy * hy;
+  const double sum = a * hy2 + b * hx2;
+  const double disc = sum * sum - (hy2 + hx2) * (a * a * hy2 + b * b * hx2 -
+                                                 hx2 * hy2);
+  if (disc < 0) return d;
+  return (sum + std::sqrt(disc)) / (hx2 + hy2);
+}
+
+}  // namespace
+
+void reinitialize(const grid::Grid2D& g, util::Array2D<double>& psi,
+                  int sweeps) {
+  const int nx = g.nx, ny = g.ny;
+  const double inf = std::numeric_limits<double>::infinity();
+  util::Array2D<double> dist(nx, ny, inf);
+
+  // Freeze first-order-accurate distances on nodes adjacent to the front:
+  // for each sign-changing edge, the distance to the crossing point.
+  bool any_interface = false;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const double c = psi(i, j);
+      auto consider = [&](int ii, int jj, double h) {
+        if (ii < 0 || ii >= nx || jj < 0 || jj >= ny) return;
+        const double n = psi(ii, jj);
+        if ((c < 0) != (n < 0) || c == 0.0) {
+          const double frac = c == n ? 0.5 : std::abs(c) / std::abs(c - n);
+          dist(i, j) = std::min(dist(i, j), frac * h);
+          any_interface = true;
+        }
+      };
+      consider(i - 1, j, g.dx);
+      consider(i + 1, j, g.dx);
+      consider(i, j - 1, g.dy);
+      consider(i, j + 1, g.dy);
+    }
+  }
+  if (!any_interface) return;  // nothing to do: uniform sign field
+
+  // Four diagonal sweep orderings propagate distances from the frozen band.
+  auto sweep = [&](int i0, int i1, int istep, int j0, int j1, int jstep) {
+    for (int j = j0; j != j1; j += jstep) {
+      for (int i = i0; i != i1; i += istep) {
+        const double a = std::min(i > 0 ? dist(i - 1, j) : inf,
+                                  i < nx - 1 ? dist(i + 1, j) : inf);
+        const double b = std::min(j > 0 ? dist(i, j - 1) : inf,
+                                  j < ny - 1 ? dist(i, j + 1) : inf);
+        if (!std::isfinite(a) && !std::isfinite(b)) continue;
+        double d;
+        if (!std::isfinite(b)) d = a + g.dx;
+        else if (!std::isfinite(a)) d = b + g.dy;
+        else d = eikonal_update(a, b, g.dx, g.dy);
+        dist(i, j) = std::min(dist(i, j), d);
+      }
+    }
+  };
+  for (int s = 0; s < sweeps; ++s) {
+    sweep(0, nx, 1, 0, ny, 1);
+    sweep(nx - 1, -1, -1, 0, ny, 1);
+    sweep(0, nx, 1, ny - 1, -1, -1);
+    sweep(nx - 1, -1, -1, ny - 1, -1, -1);
+  }
+
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      psi(i, j) = psi(i, j) < 0 ? -dist(i, j) : dist(i, j);
+}
+
+double eikonal_residual(const grid::Grid2D& g,
+                        const util::Array2D<double>& psi, double band) {
+  util::Array2D<double> grad;
+  gradient_magnitude(g, psi, UpwindScheme::kCentral, grad);
+  double worst = 0;
+  int count = 0;
+  // Skip the outermost ring where one-sided clamping biases the gradient.
+  for (int j = 1; j < g.ny - 1; ++j) {
+    for (int i = 1; i < g.nx - 1; ++i) {
+      if (std::abs(psi(i, j)) >= band) continue;
+      worst = std::max(worst, std::abs(grad(i, j) - 1.0));
+      ++count;
+    }
+  }
+  return count > 0 ? worst : 0.0;
+}
+
+}  // namespace wfire::levelset

@@ -1,0 +1,24 @@
+// Fast sweeping reinitialization: rebuilds psi as a signed distance function
+// while preserving the zero contour. Long integrations flatten |grad psi|
+// away from 1 near merged fronts; periodic redistancing keeps the Godunov
+// gradient well-conditioned. (Zhao's fast sweeping method for |grad d| = 1.)
+#pragma once
+
+#include "grid/grid2d.h"
+#include "util/array2d.h"
+
+namespace wfire::levelset {
+
+// Replaces psi by the signed distance with the same zero contour.
+// `sweeps` Gauss-Seidel passes over the 4 diagonal orderings (2 is usually
+// enough; distances converge monotonically from the front outward).
+void reinitialize(const grid::Grid2D& g, util::Array2D<double>& psi,
+                  int sweeps = 2);
+
+// Measures the deviation of |grad psi| from 1 in a band around the front
+// (|psi| < band). Diagnostic used by tests and the reinit policy.
+[[nodiscard]] double eikonal_residual(const grid::Grid2D& g,
+                                      const util::Array2D<double>& psi,
+                                      double band);
+
+}  // namespace wfire::levelset

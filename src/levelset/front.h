@@ -1,0 +1,38 @@
+// Fireline geometry extracted from the level set function: the zero contour
+// (marching squares), its length, and the burned area {psi < 0} with
+// sub-cell accuracy. Used for diagnostics, Fig. 1-style front tracking, and
+// the analytic-solution tests.
+#pragma once
+
+#include <vector>
+
+#include "grid/grid2d.h"
+#include "util/array2d.h"
+
+namespace wfire::levelset {
+
+struct FrontSegment {
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+};
+
+// Marching-squares extraction of the psi = 0 contour (linear interpolation
+// along cell edges; the ambiguous saddle cases are split by the cell-center
+// average sign).
+[[nodiscard]] std::vector<FrontSegment> extract_front(
+    const grid::Grid2D& g, const util::Array2D<double>& psi);
+
+// Total fireline length [m].
+[[nodiscard]] double front_length(const std::vector<FrontSegment>& segs);
+
+// Burned area [m^2] of {psi < 0}: per cell, the fraction below zero is
+// estimated from the four node values (exact for linear psi).
+[[nodiscard]] double burned_area(const grid::Grid2D& g,
+                                 const util::Array2D<double>& psi);
+
+// Largest x such that some point with psi <= 0 has that x (rightmost extent
+// of the burning region); -inf when nothing burns. Used by the Fig. 1 bench
+// to track the downwind ("right") front position over time.
+[[nodiscard]] double rightmost_burning_x(const grid::Grid2D& g,
+                                         const util::Array2D<double>& psi);
+
+}  // namespace wfire::levelset

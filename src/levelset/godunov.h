@@ -1,0 +1,34 @@
+// Upwinded approximations of ||grad psi|| for the level set equation
+// d(psi)/dt + S ||grad psi|| = 0 with S >= 0.
+//
+// `kPaperRule` implements the scheme exactly as the paper states it:
+// "each partial derivative is approximated by the left difference if both
+// the left and the central differences are nonnegative, by the right
+// difference if both the right and the central differences are nonpositive,
+// and taken as zero otherwise."
+//
+// `kStandardGodunov` is the classical Godunov Hamiltonian for expanding
+// fronts: per axis, max(max(D-,0)^2, min(D+,0)^2). Both are exposed so the
+// ablation bench can compare them; they agree away from kinks.
+#pragma once
+
+#include "grid/grid2d.h"
+#include "util/array2d.h"
+
+namespace wfire::levelset {
+
+enum class UpwindScheme { kPaperRule, kStandardGodunov, kCentral };
+
+// Computes |grad psi| at every node into `gradmag`. One-sided differences
+// fall back to the interior difference on the boundary ring.
+void gradient_magnitude(const grid::Grid2D& g,
+                        const util::Array2D<double>& psi, UpwindScheme scheme,
+                        util::Array2D<double>& gradmag);
+
+// Outward normal n = grad(psi)/|grad(psi)| from central differences; where
+// |grad psi| is tiny the normal defaults to (0, 0). Used by the spread-rate
+// evaluation (wind and slope are dotted with n).
+void normals(const grid::Grid2D& g, const util::Array2D<double>& psi,
+             util::Array2D<double>& nx_out, util::Array2D<double>& ny_out);
+
+}  // namespace wfire::levelset

@@ -1,0 +1,44 @@
+// Level set initialization. The paper initializes psi to the signed distance
+// from the fireline; ignitions in the experiments are circles and line
+// segments (Fig. 1: "two line ignitions and one circle ignition").
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "grid/grid2d.h"
+#include "util/array2d.h"
+
+namespace wfire::levelset {
+
+// Circular ignition: burning disc of radius r centered at (cx, cy).
+struct CircleIgnition {
+  double cx = 0, cy = 0, r = 0;
+  double time = 0;  // ignition start time [s]
+};
+
+// Line ignition: segment from (x1,y1) to (x2,y2) with half-width w
+// (a burning "capsule", matching how drip-torch lines are modeled).
+struct LineIgnition {
+  double x1 = 0, y1 = 0, x2 = 0, y2 = 0, w = 0;
+  double time = 0;
+};
+
+using Ignition = std::variant<CircleIgnition, LineIgnition>;
+
+// Signed distance from a point to the boundary of one ignition shape
+// (negative inside = burning).
+[[nodiscard]] double signed_distance(const Ignition& ign, double px,
+                                     double py);
+
+// psi(x) = min over shapes of the signed distance (union of burning areas).
+// With no shapes, returns +large everywhere (nothing burning).
+void initialize_signed_distance(const grid::Grid2D& g,
+                                const std::vector<Ignition>& ignitions,
+                                util::Array2D<double>& psi);
+
+// Ignition time of each shape, or +inf where no shape covers the domain;
+// used to stage delayed ignitions.
+[[nodiscard]] double ignition_time(const Ignition& ign);
+
+}  // namespace wfire::levelset

@@ -1,0 +1,61 @@
+#include "levelset/integrator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wfire::levelset {
+
+namespace {
+StepStats stats_for(const grid::Grid2D& g, const util::Array2D<double>& speed,
+                    double dt) {
+  StepStats st;
+  st.max_speed = util::max_value(speed);
+  st.cfl = st.max_speed * dt / std::min(g.dx, g.dy);
+  return st;
+}
+}  // namespace
+
+StepStats step_euler(const grid::Grid2D& g, const util::Array2D<double>& speed,
+                     double dt, UpwindScheme scheme,
+                     util::Array2D<double>& psi) {
+  if (!speed.same_shape(psi))
+    throw std::invalid_argument("step_euler: speed/psi shape mismatch");
+  util::Array2D<double> grad;
+  gradient_magnitude(g, psi, scheme, grad);
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx; ++i)
+      psi(i, j) -= dt * speed(i, j) * grad(i, j);
+  return stats_for(g, speed, dt);
+}
+
+StepStats step_heun(const grid::Grid2D& g, const util::Array2D<double>& speed,
+                    double dt, UpwindScheme scheme,
+                    util::Array2D<double>& psi) {
+  if (!speed.same_shape(psi))
+    throw std::invalid_argument("step_heun: speed/psi shape mismatch");
+  util::Array2D<double> k1, k2;
+  gradient_magnitude(g, psi, scheme, k1);
+
+  util::Array2D<double> predictor = psi;
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx; ++i)
+      predictor(i, j) -= dt * speed(i, j) * k1(i, j);
+
+  gradient_magnitude(g, predictor, scheme, k2);
+#pragma omp parallel for schedule(static)
+  for (int j = 0; j < g.ny; ++j)
+    for (int i = 0; i < g.nx; ++i)
+      psi(i, j) -= 0.5 * dt * speed(i, j) * (k1(i, j) + k2(i, j));
+  return stats_for(g, speed, dt);
+}
+
+double stable_dt(const grid::Grid2D& g, const util::Array2D<double>& speed,
+                 double cfl) {
+  const double smax = util::max_value(speed);
+  if (smax <= 0) return 1e9;
+  return cfl * std::min(g.dx, g.dy) / smax;
+}
+
+}  // namespace wfire::levelset

@@ -1,0 +1,44 @@
+#include "obs/image_obs.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wfire::obs {
+
+ImageObsVector image_to_obs(const util::Array2D<double>& img,
+                            const ImageObsOptions& opt) {
+  if (opt.stride < 1) throw std::invalid_argument("image_to_obs: stride < 1");
+  if (opt.error_floor <= 0)
+    throw std::invalid_argument("image_to_obs: error_floor <= 0");
+  ImageObsVector out;
+  const std::size_t estimate =
+      (static_cast<std::size_t>(img.nx() / opt.stride) + 1) *
+      (static_cast<std::size_t>(img.ny() / opt.stride) + 1);
+  out.values.reserve(estimate);
+  out.errors.reserve(estimate);
+  for (int j = 0; j < img.ny(); j += opt.stride)
+    for (int i = 0; i < img.nx(); i += opt.stride) {
+      const double v = img(i, j);
+      out.values.push_back(v);
+      out.errors.push_back(opt.error_floor + opt.rel_error * std::abs(v));
+      out.pixel_i.push_back(i);
+      out.pixel_j.push_back(j);
+    }
+  return out;
+}
+
+std::vector<double> sample_like(const util::Array2D<double>& synthetic,
+                                const ImageObsVector& pattern) {
+  std::vector<double> out;
+  out.reserve(pattern.values.size());
+  for (std::size_t k = 0; k < pattern.values.size(); ++k) {
+    const int i = pattern.pixel_i[k];
+    const int j = pattern.pixel_j[k];
+    if (!synthetic.contains(i, j))
+      throw std::invalid_argument("sample_like: image shape mismatch");
+    out.push_back(synthetic(i, j));
+  }
+  return out;
+}
+
+}  // namespace wfire::obs

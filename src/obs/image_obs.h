@@ -1,0 +1,37 @@
+// Image observations: thermal images of the fire "will provide the
+// observations and will be compared to a synthetic image from the model
+// state" (paper abstract). This module flattens images into observation
+// vectors with per-pixel error bounds, optionally subsampled (full-frame
+// IR images are highly redundant; assimilating every k-th pixel keeps the
+// EnKF solve tractable without losing the front position).
+#pragma once
+
+#include <vector>
+
+#include "util/array2d.h"
+
+namespace wfire::obs {
+
+struct ImageObsOptions {
+  int stride = 1;           // take every stride-th pixel in x and y
+  double error_floor = 1.0; // minimum obs error std (data units)
+  double rel_error = 0.05;  // fractional error added on the magnitude
+};
+
+struct ImageObsVector {
+  std::vector<double> values;  // observations d
+  std::vector<double> errors;  // r_std, same length
+  std::vector<int> pixel_i, pixel_j;  // source pixel of each entry
+};
+
+// Flattens an image into an observation vector.
+[[nodiscard]] ImageObsVector image_to_obs(const util::Array2D<double>& img,
+                                          const ImageObsOptions& opt = {});
+
+// Extracts the same pixels from a (synthetic) image — the observation
+// function applied to a member's rendered scene. The layout matches
+// image_to_obs with identical options and image shape.
+[[nodiscard]] std::vector<double> sample_like(
+    const util::Array2D<double>& synthetic, const ImageObsVector& pattern);
+
+}  // namespace wfire::obs

@@ -1,0 +1,151 @@
+#include "obs/statefile.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace wfire::obs {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'F', 'S', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("StateFile: truncated file");
+  return v;
+}
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("StateFile: truncated file");
+  return v;
+}
+
+void check_header(std::istream& in, const std::string& path) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("StateFile: bad magic in " + path);
+  const std::uint32_t version = read_u32(in);
+  if (version != kVersion)
+    throw std::runtime_error("StateFile: unsupported version in " + path);
+}
+
+}  // namespace
+
+void StateFile::write(const std::string& path, const Sections& sections) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("StateFile: cannot open " + path);
+  out.write(kMagic, 4);
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(sections.size()));
+  for (const auto& [name, values] : sections) {
+    write_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(out, values.size());
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(double)));
+  }
+  if (!out) throw std::runtime_error("StateFile: write failed for " + path);
+}
+
+Sections StateFile::read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("StateFile: cannot open " + path);
+  check_header(in, path);
+  const std::uint32_t n = read_u32(in);
+  Sections out;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const std::uint32_t len = read_u32(in);
+    std::string name(len, '\0');
+    in.read(name.data(), len);
+    const std::uint64_t count = read_u64(in);
+    std::vector<double> values(count);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+    if (!in) throw std::runtime_error("StateFile: truncated section " + name);
+    out.emplace(std::move(name), std::move(values));
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>> StateFile::list_sections(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("StateFile: cannot open " + path);
+  check_header(in, path);
+  const std::uint32_t n = read_u32(in);
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const std::uint32_t len = read_u32(in);
+    std::string name(len, '\0');
+    in.read(name.data(), len);
+    const std::uint64_t count = read_u64(in);
+    in.seekg(static_cast<std::streamoff>(count * sizeof(double)),
+             std::ios::cur);
+    if (!in) throw std::runtime_error("StateFile: truncated file " + path);
+    out.emplace_back(std::move(name), static_cast<std::size_t>(count));
+  }
+  return out;
+}
+
+std::vector<double> StateFile::extract(const std::string& path,
+                                       const std::string& name) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("StateFile: cannot open " + path);
+  check_header(in, path);
+  const std::uint32_t n = read_u32(in);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const std::uint32_t len = read_u32(in);
+    std::string sname(len, '\0');
+    in.read(sname.data(), len);
+    const std::uint64_t count = read_u64(in);
+    if (sname == name) {
+      std::vector<double> values(count);
+      in.read(reinterpret_cast<char*>(values.data()),
+              static_cast<std::streamsize>(count * sizeof(double)));
+      if (!in) throw std::runtime_error("StateFile: truncated section " + name);
+      return values;
+    }
+    in.seekg(static_cast<std::streamoff>(count * sizeof(double)),
+             std::ios::cur);
+  }
+  throw std::runtime_error("StateFile: section not found: " + name);
+}
+
+void StateFile::replace(const std::string& path, const std::string& name,
+                        std::span<const double> values) {
+  std::fstream io(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!io) throw std::runtime_error("StateFile: cannot open " + path);
+  check_header(io, path);
+  const std::uint32_t n = read_u32(io);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const std::uint32_t len = read_u32(io);
+    std::string sname(len, '\0');
+    io.read(sname.data(), len);
+    const std::uint64_t count = read_u64(io);
+    if (sname == name) {
+      if (count != values.size())
+        throw std::runtime_error("StateFile: size mismatch replacing " + name);
+      io.write(reinterpret_cast<const char*>(values.data()),
+               static_cast<std::streamsize>(values.size() * sizeof(double)));
+      if (!io) throw std::runtime_error("StateFile: replace failed: " + name);
+      return;
+    }
+    io.seekg(static_cast<std::streamoff>(count * sizeof(double)),
+             std::ios::cur);
+  }
+  throw std::runtime_error("StateFile: section not found: " + name);
+}
+
+}  // namespace wfire::obs

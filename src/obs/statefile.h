@@ -1,0 +1,45 @@
+// Binary state files: the paper's ensemble "is maintained in disk files"
+// and "the state is transferred using disk files. Individual subvectors
+// corresponding to the most common variables are extracted or replaced in
+// the files" (Sec. 3.1, Fig. 2). The format is a sequence of named
+// double-precision sections:
+//
+//   magic "WFST" | u32 version | u32 nsections |
+//   per section: u32 name_len | name bytes | u64 count | count f64 values
+//
+// `extract`/`replace` operate on one section without rewriting the file,
+// which is what lets the model, the observation function and the EnKF run
+// as separate executables against the same files.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wfire::obs {
+
+using Sections = std::map<std::string, std::vector<double>>;
+
+class StateFile {
+ public:
+  // Writes (truncates) the whole file.
+  static void write(const std::string& path, const Sections& sections);
+
+  // Reads the whole file.
+  [[nodiscard]] static Sections read(const std::string& path);
+
+  // Lists section names and sizes without reading the payloads.
+  [[nodiscard]] static std::vector<std::pair<std::string, std::size_t>>
+  list_sections(const std::string& path);
+
+  // Extracts one subvector; throws std::runtime_error if absent.
+  [[nodiscard]] static std::vector<double> extract(const std::string& path,
+                                                   const std::string& name);
+
+  // Replaces one subvector in place; the size must match the stored section.
+  static void replace(const std::string& path, const std::string& name,
+                      std::span<const double> values);
+};
+
+}  // namespace wfire::obs

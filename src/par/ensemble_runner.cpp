@@ -1,0 +1,27 @@
+#include "par/ensemble_runner.h"
+
+#include "util/stopwatch.h"
+
+namespace wfire::par {
+
+void EnsembleRunner::run_phase(const std::string& name, int members,
+                               const std::function<void(int)>& task) {
+  util::Stopwatch sw;
+  pool_.parallel_for(members, task);
+  timings_.push_back({name, sw.seconds()});
+}
+
+void EnsembleRunner::run_serial_phase(const std::string& name,
+                                      const std::function<void()>& task) {
+  util::Stopwatch sw;
+  task();
+  timings_.push_back({name, sw.seconds()});
+}
+
+double EnsembleRunner::total_seconds() const {
+  double total = 0;
+  for (const auto& t : timings_) total += t.seconds;
+  return total;
+}
+
+}  // namespace wfire::par

@@ -1,0 +1,49 @@
+// Member-parallel execution with phase timing — the "advancing the ensemble
+// in time" half of the paper's Fig. 2, where each ensemble member runs
+// independently on its subset of processors and the EnKF is the global
+// synchronization point. The timing breakdown feeds the Fig. 2 scaling
+// bench.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "par/thread_pool.h"
+
+namespace wfire::par {
+
+struct PhaseTiming {
+  std::string name;
+  double seconds = 0;
+};
+
+class EnsembleRunner {
+ public:
+  explicit EnsembleRunner(int threads = 0) : pool_(threads) {}
+
+  [[nodiscard]] int threads() const { return pool_.size(); }
+
+  // Runs task(k) for each member k in parallel; records the phase wall time
+  // under `name`.
+  void run_phase(const std::string& name, int members,
+                 const std::function<void(int)>& task);
+
+  // Runs a serial (all-processors) phase, e.g. the EnKF analysis.
+  void run_serial_phase(const std::string& name,
+                        const std::function<void()>& task);
+
+  [[nodiscard]] const std::vector<PhaseTiming>& timings() const {
+    return timings_;
+  }
+  void clear_timings() { timings_.clear(); }
+
+  // Total wall seconds across recorded phases.
+  [[nodiscard]] double total_seconds() const;
+
+ private:
+  ThreadPool pool_;
+  std::vector<PhaseTiming> timings_;
+};
+
+}  // namespace wfire::par

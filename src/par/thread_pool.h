@@ -1,0 +1,57 @@
+// Fixed-size thread pool. The paper's parallel structure (Fig. 2) assigns
+// ensemble members to subsets of processors; at laptop scale the same
+// decomposition is expressed as member tasks on a pool. Stencil-level
+// parallelism inside each member uses OpenMP instead (see DESIGN.md).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wfire::par {
+
+class ThreadPool {
+ public:
+  // n <= 0 selects hardware_concurrency().
+  explicit ThreadPool(int n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(int n, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace wfire::par

@@ -1,0 +1,40 @@
+// Airborne frame camera (the paper's scenes are rendered "as it would be
+// observed with RIT's WASP airborne infrared camera system flying about
+// 3000 m above ground"). Pinhole geometry: the camera hovers at `altitude`
+// above the look-at point and images a square ground footprint with `npx`
+// pixels of ground sample distance `gsd`.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wfire::scene {
+
+struct Ray {
+  // Origin and normalized direction in world coordinates (z up, ground z=0).
+  double ox, oy, oz;
+  double dx, dy, dz;
+};
+
+struct Camera {
+  double look_x = 0, look_y = 0;  // ground point under the camera [m]
+  double altitude = 3000.0;       // height above ground [m]
+  int npx = 256, npy = 256;       // image size [pixels]
+  double gsd = 4.0;               // ground sample distance at nadir [m]
+
+  // Ray through the center of pixel (i, j); pixel (0,0) is the lower-left.
+  [[nodiscard]] Ray pixel_ray(int i, int j) const {
+    if (i < 0 || i >= npx || j < 0 || j >= npy)
+      throw std::out_of_range("Camera::pixel_ray: pixel out of range");
+    const double gx = look_x + (i - 0.5 * (npx - 1)) * gsd;
+    const double gy = look_y + (j - 0.5 * (npy - 1)) * gsd;
+    const double vx = gx - look_x, vy = gy - look_y, vz = -altitude;
+    const double norm = std::sqrt(vx * vx + vy * vy + vz * vz);
+    return Ray{look_x, look_y, altitude, vx / norm, vy / norm, vz / norm};
+  }
+
+  // Ground footprint area of one pixel at nadir [m^2].
+  [[nodiscard]] double pixel_area() const { return gsd * gsd; }
+};
+
+}  // namespace wfire::scene

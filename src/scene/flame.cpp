@@ -1,0 +1,85 @@
+#include "scene/flame.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wfire::scene {
+
+double byram_flame_length(double I_kw_per_m, const FlameParams& p) {
+  if (I_kw_per_m <= 0) return 0.0;
+  return p.byram_a * std::pow(I_kw_per_m, p.byram_b);
+}
+
+FlameVoxels build_flame_voxels(const fire::FireModel& model,
+                               const util::Array2D<double>& wind_u,
+                               const util::Array2D<double>& wind_v,
+                               const FlameParams& p) {
+  const grid::Grid2D& g = model.grid();
+  const fire::FireState& st = model.state();
+
+  // First pass: flame length per cell, to size the voxel grid.
+  util::Array2D<double> flame_len(g.nx, g.ny, 0.0);
+  double max_len = 0;
+  for (int j = 0; j < g.ny; ++j) {
+    for (int i = 0; i < g.nx; ++i) {
+      const double ti = st.tig(i, j);
+      if (ti == fire::kNotIgnited) continue;
+      const double age = st.time - ti;
+      if (age < 0 || age > p.active_age) continue;
+      const fire::FuelCategory* cat = model.fuel().at(i, j);
+      if (cat == nullptr) continue;
+      // Fireline intensity: heat release per unit area times flaming depth.
+      // Depth ~ spread rate x mass-loss time; spread rate ~ R0 + wind term
+      // evaluated in the wind direction (head-fire estimate).
+      const double wind_speed = std::hypot(wind_u(i, j), wind_v(i, j));
+      const double ros = fire::spread_rate(*cat, wind_speed, 0.0);
+      const double depth = std::max(ros * cat->tau, g.dx);
+      // Area heat release rate at this age [W/m^2].
+      const double q = cat->w0 * cat->h * std::exp(-age / cat->tau) / cat->tau;
+      const double intensity_kw = q * depth / 1000.0;  // [kW/m]
+      if (intensity_kw < p.min_intensity) continue;
+      flame_len(i, j) = byram_flame_length(intensity_kw, p);
+      max_len = std::max(max_len, flame_len(i, j));
+    }
+  }
+
+  FlameVoxels fv;
+  fv.dx = g.dx;
+  fv.dy = g.dy;
+  fv.dz = p.voxel_dz;
+  fv.x0 = g.x0;
+  fv.y0 = g.y0;
+  fv.absorption = p.absorption;
+  fv.max_flame_length = max_len;
+  const int nz = std::max(1, static_cast<int>(std::ceil(
+                                 1.5 * max_len / p.voxel_dz)));  // tilt room
+  fv.temperature = util::Array3D<double>(g.nx, g.ny, nz, 0.0);
+  if (max_len == 0) return fv;
+
+  // Second pass: fill tilted flame columns.
+  for (int j = 0; j < g.ny; ++j) {
+    for (int i = 0; i < g.nx; ++i) {
+      const double L = flame_len(i, j);
+      if (L <= 0) continue;
+      const double uw = wind_u(i, j), vw = wind_v(i, j);
+      const double buoy = std::sqrt(9.81 * L);
+      // Tilt: horizontal displacement per unit height, capped at 60 degrees.
+      const double tx = std::clamp(uw / buoy, -1.7, 1.7);
+      const double ty = std::clamp(vw / buoy, -1.7, 1.7);
+      const int ksteps = std::max(1, static_cast<int>(std::ceil(L / fv.dz)));
+      for (int k = 0; k < ksteps && k < fv.temperature.nz(); ++k) {
+        const double z = (k + 0.5) * fv.dz;
+        if (z > L) break;
+        const int ii = i + static_cast<int>(std::lround(tx * z / g.dx));
+        const int jj = j + static_cast<int>(std::lround(ty * z / g.dy));
+        if (!fv.temperature.contains(ii, jj, k)) continue;
+        // Slight cooling with height along the flame.
+        const double T = p.T_flame * (1.0 - 0.25 * z / std::max(L, 1e-9));
+        fv.temperature(ii, jj, k) = std::max(fv.temperature(ii, jj, k), T);
+      }
+    }
+  }
+  return fv;
+}
+
+}  // namespace wfire::scene

@@ -1,0 +1,50 @@
+// 3-D flame structure (paper Sec. 3.2): "the 3D flame structure is estimated
+// by using the heat release rate and experimental estimates of flame width
+// and length and the flame is tilted based on wind speed. This 3D structure
+// is represented by a 3D grid of voxels."
+//
+// Flame length comes from Byram's (1959) empirical relation
+//   L = 0.0775 * I^0.46   [m],  I = fireline intensity [kW/m],
+// with I estimated per cell from the sensible heat flux and the flaming
+// depth (spread rate x mass-loss time scale). The flame column over each
+// actively flaming cell is tilted downwind by the ratio of the wind speed to
+// the buoyancy velocity sqrt(g L).
+#pragma once
+
+#include "fire/model.h"
+#include "util/array3d.h"
+
+namespace wfire::scene {
+
+struct FlameParams {
+  double T_flame = 1100.0;        // flame gas temperature [K]
+  double absorption = 0.6;        // flame absorption coefficient kappa [1/m]
+  double byram_a = 0.0775;        // L = a * I^b, I in kW/m
+  double byram_b = 0.46;
+  double voxel_dz = 1.0;          // vertical voxel size [m]
+  double active_age = 60.0;       // cells flame while t - tig < active_age [s]
+  double min_intensity = 5.0;     // ignore cells below this I [kW/m]
+};
+
+// Voxelized flame: temperature field over the fire-mesh footprint; 0 marks
+// empty voxels. Horizontal voxel size equals the fire mesh spacing.
+struct FlameVoxels {
+  util::Array3D<double> temperature;  // [K], 0 = no flame
+  double dx = 0, dy = 0, dz = 0;      // voxel size [m]
+  double x0 = 0, y0 = 0;              // world position of voxel (0,0) center
+  double absorption = 0.6;
+  double max_flame_length = 0;        // diagnostic [m]
+};
+
+// Builds the voxel flame from the fire state. `wind_u/v` give the tilt;
+// `spread` is the local spread rate field used in the fireline-intensity
+// estimate (pass the model's last speed field or a recomputed one).
+[[nodiscard]] FlameVoxels build_flame_voxels(
+    const fire::FireModel& model, const util::Array2D<double>& wind_u,
+    const util::Array2D<double>& wind_v, const FlameParams& p = {});
+
+// Byram flame length for a fireline intensity I [kW/m].
+[[nodiscard]] double byram_flame_length(double I_kw_per_m,
+                                        const FlameParams& p = {});
+
+}  // namespace wfire::scene

@@ -1,0 +1,58 @@
+#include "scene/fre.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "scene/planck.h"
+
+namespace wfire::scene {
+
+double frp_stefan_boltzmann(const util::Array2D<double>& brightness_K,
+                            const FreParams& p) {
+  const double amb4 = std::pow(p.T_ambient, 4);
+  double total = 0;
+  for (const double T : brightness_K) {
+    if (T < p.min_fire_T) continue;
+    total += p.emissivity * kStefanBoltzmann * (std::pow(T, 4) - amb4) *
+             p.pixel_area;
+  }
+  return total;
+}
+
+double frp_mir_radiance(const util::Array2D<double>& radiance,
+                        const util::Array2D<double>& brightness_K,
+                        const FreParams& p) {
+  // Background radiance: median over non-fire pixels.
+  std::vector<double> bg;
+  bg.reserve(radiance.size());
+  for (int j = 0; j < radiance.ny(); ++j)
+    for (int i = 0; i < radiance.nx(); ++i)
+      if (brightness_K(i, j) < p.min_fire_T) bg.push_back(radiance(i, j));
+  double lbg = 0;
+  if (!bg.empty()) {
+    const std::size_t mid = bg.size() / 2;
+    std::nth_element(bg.begin(), bg.begin() + mid, bg.end());
+    lbg = bg[mid];
+  }
+  double total = 0;
+  for (int j = 0; j < radiance.ny(); ++j)
+    for (int i = 0; i < radiance.nx(); ++i) {
+      if (brightness_K(i, j) < p.min_fire_T) continue;
+      // The Wooster a-constant expects per-micron MIR radiance.
+      const double dl = (radiance(i, j) - lbg) / p.band_width_um;
+      if (dl <= 0) continue;
+      total += p.pixel_area * kStefanBoltzmann / p.wooster_a * dl;
+    }
+  return total;
+}
+
+int fire_pixel_count(const util::Array2D<double>& brightness_K,
+                     const FreParams& p) {
+  int count = 0;
+  for (const double T : brightness_K)
+    if (T >= p.min_fire_T) ++count;
+  return count;
+}
+
+}  // namespace wfire::scene

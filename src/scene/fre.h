@@ -1,0 +1,41 @@
+// Fire radiated energy / fire radiative power (paper Sec. 3.2): the
+// synthetic scenes were "validated by calculation of the fire radiated
+// energy and comparing those results to published values derived from
+// satellite remote sensing data over wildland fires" (Wooster et al. 2003,
+// BIRD/MODIS). Two standard estimators are provided:
+//
+//  - Stefan-Boltzmann:  FRP = sum_pixels eps * sigma * (T^4 - T_amb^4) * A
+//  - Wooster MIR-radiance: FRP ~ A * sigma / a * (L_mir - L_mir_bg), with
+//    a the MIR-band power-law coefficient (~3.0e-9 W m^-2 sr^-1 K^-4 for
+//    3.9 um class sensors); valid for fire temperatures 600-1500 K.
+#pragma once
+
+#include "util/array2d.h"
+
+namespace wfire::scene {
+
+struct FreParams {
+  double emissivity = 0.95;
+  double T_ambient = 300.0;     // [K]
+  double pixel_area = 16.0;     // [m^2]
+  double wooster_a = 3.0e-9;    // [W m^-2 sr^-1 um^-1 K^-4]
+  double band_width_um = 2.0;   // 3-5 um band: converts band radiance to
+                                // per-micron MIR radiance for the a-constant
+  double min_fire_T = 400.0;    // pixels cooler than this are background [K]
+};
+
+// Stefan-Boltzmann FRP [W] from a brightness-temperature image.
+[[nodiscard]] double frp_stefan_boltzmann(
+    const util::Array2D<double>& brightness_K, const FreParams& p = {});
+
+// Wooster MIR-radiance FRP [W] from a band-radiance image; the background
+// radiance is estimated as the median of non-fire pixels.
+[[nodiscard]] double frp_mir_radiance(const util::Array2D<double>& radiance,
+                                      const util::Array2D<double>& brightness_K,
+                                      const FreParams& p = {});
+
+// Count of fire pixels (brightness above min_fire_T).
+[[nodiscard]] int fire_pixel_count(const util::Array2D<double>& brightness_K,
+                                   const FreParams& p = {});
+
+}  // namespace wfire::scene

@@ -1,0 +1,61 @@
+// Ray-marched mid-wave infrared renderer — the repo's stand-in for DIRSIG
+// (see DESIGN.md). For each camera ray, the band radiance combines the three
+// radiated-energy terms the paper lists (Sec. 3.2):
+//
+//  1. emission from the hot ground under and behind the fire front (the
+//     double-exponential thermal history),
+//  2. direct radiation from the 3-D voxelized flame, accumulated along the
+//     ray with Beer-Lambert attenuation,
+//  3. flame radiation *reflected from the nearby ground* — "most important
+//     in the near and mid-wave infrared spectrum" — computed from a
+//     precomputed flame-irradiance map and the ground's (1 - emissivity).
+//
+// A constant atmospheric band transmittance stands in for the path model.
+#pragma once
+
+#include "scene/camera.h"
+#include "scene/flame.h"
+#include "scene/planck.h"
+#include "scene/thermal.h"
+#include "util/array2d.h"
+
+namespace wfire::scene {
+
+struct RenderParams {
+  double ground_emissivity = 0.95;   // burn-scar / soil emissivity (MWIR)
+  double atmos_transmittance = 0.85; // 3000 m slant path, clear air
+  double march_step = 0.5;           // ray-march step inside flames [m]
+  int irradiance_stride = 2;         // voxel subsampling for the reflection map
+  double background_temperature = 300.0;  // terrain outside the fire grid [K]
+  double band_lo = kMidwaveLo;
+  double band_hi = kMidwaveHi;
+};
+
+struct RenderedScene {
+  util::Array2D<double> radiance;    // [W m^-2 sr^-1] band radiance
+  util::Array2D<double> brightness;  // [K] band brightness temperature
+};
+
+class Renderer {
+ public:
+  explicit Renderer(RenderParams p = {});
+
+  // Renders the camera view of a fire state: `ground_T` is the surface
+  // temperature map on the fire grid, `flames` the voxelized flame.
+  [[nodiscard]] RenderedScene render(const Camera& cam,
+                                     const grid::Grid2D& fire_grid,
+                                     const util::Array2D<double>& ground_T,
+                                     const FlameVoxels& flames) const;
+
+  // Flame irradiance map on the ground [W/m^2] (exposed for tests and the
+  // reflection-term ablation).
+  [[nodiscard]] util::Array2D<double> flame_irradiance(
+      const grid::Grid2D& fire_grid, const FlameVoxels& flames) const;
+
+  [[nodiscard]] const RenderParams& params() const { return p_; }
+
+ private:
+  RenderParams p_;
+};
+
+}  // namespace wfire::scene

@@ -1,0 +1,52 @@
+// Ground thermal history (paper Sec. 3.2): "the 2D fire front and cooling
+// are estimated with a double exponential. The time constants are 75 seconds
+// and 250 seconds and the peak temperature at the fire front is constrained
+// to 1075 K."
+//
+// The surface temperature at time t after front arrival is
+//
+//   T(t) = T_amb + (T_peak - T_amb) * s(t) / s(t*),
+//   s(t) = exp(-t / tau_cool) - exp(-t / tau_rise),
+//
+// which rises on the tau_rise scale, peaks at
+// t* = ln(tau_cool/tau_rise) / (1/tau_rise - 1/tau_cool), and cools on the
+// tau_cool scale — the double exponential of the paper with its peak pinned
+// at T_peak.
+#pragma once
+
+#include "fire/model.h"
+#include "util/array2d.h"
+
+namespace wfire::scene {
+
+struct GroundThermalParams {
+  double tau_rise = 75.0;    // [s]
+  double tau_cool = 250.0;   // [s]
+  double T_peak = 1075.0;    // [K]
+  double T_ambient = 300.0;  // [K]
+};
+
+class GroundThermalModel {
+ public:
+  explicit GroundThermalModel(GroundThermalParams p = {});
+
+  // Temperature a time `age` after front arrival (age < 0 -> ambient).
+  [[nodiscard]] double temperature(double age) const;
+
+  // Time after arrival at which temperature peaks.
+  [[nodiscard]] double peak_time() const { return t_peak_; }
+
+  [[nodiscard]] const GroundThermalParams& params() const { return p_; }
+
+  // Ground temperature map from the fire model's ignition-time field at
+  // model time `t`.
+  void temperature_map(const util::Array2D<double>& tig, double t,
+                       util::Array2D<double>& T_out) const;
+
+ private:
+  GroundThermalParams p_;
+  double t_peak_ = 0;
+  double norm_ = 1;  // s(t_peak)
+};
+
+}  // namespace wfire::scene

@@ -1,0 +1,88 @@
+// Contiguous 3-D array with (i, j, k) indexing: i along x (contiguous),
+// j along y, k along z. Used for atmospheric fields and flame voxel grids.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace wfire::util {
+
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+
+  Array3D(int nx, int ny, int nz, T fill = T{})
+      : nx_(nx), ny_(ny), nz_(nz), data_(checked_size(nx, ny, nz), fill) {}
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] bool contains(int i, int j, int k) const {
+    return i >= 0 && i < nx_ && j >= 0 && j < ny_ && k >= 0 && k < nz_;
+  }
+
+  T& operator()(int i, int j, int k) {
+    WFIRE_ASSERT(contains(i, j, k), "Array3D index out of range");
+    return data_[(static_cast<std::size_t>(k) * ny_ + j) * nx_ + i];
+  }
+  const T& operator()(int i, int j, int k) const {
+    WFIRE_ASSERT(contains(i, j, k), "Array3D index out of range");
+    return data_[(static_cast<std::size_t>(k) * ny_ + j) * nx_ + i];
+  }
+
+  [[nodiscard]] const T& at_clamped(int i, int j, int k) const {
+    i = std::clamp(i, 0, nx_ - 1);
+    j = std::clamp(j, 0, ny_ - 1);
+    k = std::clamp(k, 0, nz_ - 1);
+    return data_[(static_cast<std::size_t>(k) * ny_ + j) * nx_ + i];
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+  [[nodiscard]] std::span<T> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> span() const {
+    return {data_.data(), data_.size()};
+  }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+  [[nodiscard]] bool same_shape(const Array3D& o) const {
+    return nx_ == o.nx_ && ny_ == o.ny_ && nz_ == o.nz_;
+  }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  static std::size_t checked_size(int nx, int ny, int nz) {
+    if (nx < 0 || ny < 0 || nz < 0)
+      throw std::invalid_argument("Array3D: negative dims");
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 0;
+  std::vector<T> data_;
+};
+
+template <typename T>
+[[nodiscard]] T max_abs(const Array3D<T>& a) {
+  T m = T{};
+  for (const T& v : a) m = std::max(m, static_cast<T>(std::abs(v)));
+  return m;
+}
+
+}  // namespace wfire::util

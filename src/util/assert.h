@@ -1,0 +1,20 @@
+// Lightweight assertion macro used in hot loops. Unlike <cassert> it stays
+// active in RelWithDebInfo builds unless WFIRE_DISABLE_ASSERT is defined, so
+// index errors surface during benchmarking as well as in tests.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(WFIRE_DISABLE_ASSERT)
+#define WFIRE_ASSERT(cond, msg) ((void)0)
+#else
+#define WFIRE_ASSERT(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "WFIRE_ASSERT failed at %s:%d: %s (%s)\n",    \
+                   __FILE__, __LINE__, #cond, msg);                      \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+#endif

@@ -1,0 +1,32 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace wfire::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), out_(path), width_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::vector<double>(values));
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != width_)
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+}  // namespace wfire::util

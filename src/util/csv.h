@@ -1,0 +1,29 @@
+// Tiny CSV writer used by benches and examples to emit paper-style series
+// (front position vs time, error vs cycle, ...) alongside stdout tables.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace wfire::util {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path` and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  // Appends one row; must match the header width.
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<double>& values);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace wfire::util

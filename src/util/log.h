@@ -1,0 +1,30 @@
+// Minimal leveled logger. Single global sink (stderr), printf-style
+// formatting, thread-safe. Components log sparingly; the default level is
+// kWarn so tests and benches stay quiet unless something is wrong.
+#pragma once
+
+#include <cstdarg>
+
+namespace wfire::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+#define WFIRE_LOG_DEBUG(...) \
+  ::wfire::util::log(::wfire::util::LogLevel::kDebug, __VA_ARGS__)
+#define WFIRE_LOG_INFO(...) \
+  ::wfire::util::log(::wfire::util::LogLevel::kInfo, __VA_ARGS__)
+#define WFIRE_LOG_WARN(...) \
+  ::wfire::util::log(::wfire::util::LogLevel::kWarn, __VA_ARGS__)
+#define WFIRE_LOG_ERROR(...) \
+  ::wfire::util::log(::wfire::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace wfire::util

@@ -1,0 +1,24 @@
+// Wall-clock stopwatch used by the real-time driver and bench harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace wfire::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  // Elapsed seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace wfire::util

@@ -1,0 +1,415 @@
+// EnKF tests: ensemble statistics, both solver paths against each other and
+// against the exact Kalman filter in the linear-Gaussian limit, sequential
+// filter with localization, inflation, and skill diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "enkf/diagnostics.h"
+#include "enkf/enkf.h"
+#include "enkf/ensemble.h"
+#include "enkf/etkf.h"
+#include "enkf/kalman.h"
+#include "enkf/localization.h"
+#include "la/blas.h"
+
+using namespace wfire::enkf;
+using namespace wfire::la;
+using wfire::util::Rng;
+
+namespace {
+
+// Draws an ensemble from N(mean, var I).
+Matrix gaussian_ensemble(const Vector& mean, double std_dev, int N, Rng& rng) {
+  const int n = static_cast<int>(mean.size());
+  Matrix X(n, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < n; ++i) X(i, k) = mean[i] + std_dev * rng.normal();
+  return X;
+}
+
+}  // namespace
+
+TEST(Ensemble, MeanAndAnomalies) {
+  Matrix X(2, 3);
+  X(0, 0) = 1; X(0, 1) = 2; X(0, 2) = 3;
+  X(1, 0) = 4; X(1, 1) = 4; X(1, 2) = 4;
+  const Vector m = ensemble_mean(X);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 4.0);
+  const Matrix A = anomalies(X);
+  EXPECT_DOUBLE_EQ(A(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(A(1, 2), 0.0);
+}
+
+TEST(Ensemble, InflationPreservesMeanScalesSpread) {
+  Rng rng(1);
+  Matrix X = gaussian_ensemble(Vector{1.0, 2.0}, 1.0, 50, rng);
+  const Vector m0 = ensemble_mean(X);
+  const double s0 = spread(X);
+  inflate(X, 1.5);
+  const Vector m1 = ensemble_mean(X);
+  EXPECT_NEAR(m1[0], m0[0], 1e-12);
+  EXPECT_NEAR(spread(X), 1.5 * s0, 1e-9);
+}
+
+TEST(Ensemble, CovarianceActionMatchesExplicit) {
+  Rng rng(2);
+  const Matrix X = gaussian_ensemble(Vector(4, 0.0), 2.0, 30, rng);
+  const Matrix A = anomalies(X);
+  Vector v{1, -1, 2, 0.5};
+  const Vector cv = covariance_action(A, v);
+  const Matrix P = matmul(A, A, false, true);
+  Vector expected(4, 0.0);
+  gemv(1.0 / 29.0, P, v, 0.0, expected);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(cv[i], expected[i], 1e-10);
+}
+
+TEST(Ensemble, PerturbedEnsembleStatistics) {
+  Rng rng(3);
+  const Vector base{5.0, -3.0};
+  const Matrix X = perturbed_ensemble(base, 2000, 0.7, rng);
+  const Vector m = ensemble_mean(X);
+  EXPECT_NEAR(m[0], 5.0, 0.06);
+  EXPECT_NEAR(spread(X), 0.7, 0.03);
+}
+
+TEST(Kalman, ScalarUpdateMatchesClosedForm) {
+  // Prior N(0, 4), obs y = 2 with R = 1 -> posterior mean 1.6, var 0.8.
+  KalmanState prior{Vector{0.0}, Matrix(1, 1)};
+  prior.cov(0, 0) = 4.0;
+  Matrix H = Matrix::identity(1);
+  const KalmanState post = kalman_update(prior, H, Vector{2.0}, Vector{1.0});
+  EXPECT_NEAR(post.mean[0], 1.6, 1e-12);
+  EXPECT_NEAR(post.cov(0, 0), 0.8, 1e-12);
+}
+
+TEST(Kalman, ForecastPropagatesCovariance) {
+  KalmanState s{Vector{1.0, 0.0}, Matrix::identity(2)};
+  Matrix M(2, 2, 0.0);
+  M(0, 0) = 2.0;
+  M(1, 1) = 0.5;
+  const KalmanState f = kalman_forecast(s, M, Matrix(2, 2, 0.0));
+  EXPECT_DOUBLE_EQ(f.mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(f.cov(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(f.cov(1, 1), 0.25);
+}
+
+class EnKFPathParam : public ::testing::TestWithParam<SolverPath> {};
+
+TEST_P(EnKFPathParam, ConvergesToKalmanInLinearGaussianLimit) {
+  // Large ensemble from a known Gaussian prior, identity obs on part of the
+  // state: the EnKF analysis mean must approach the exact KF posterior.
+  Rng rng(42);
+  const int n = 4;
+  const int N = 4000;
+  const Vector prior_mean{1.0, 2.0, -1.0, 0.0};
+  const double prior_std = 2.0;
+  Matrix X = gaussian_ensemble(prior_mean, prior_std, N, rng);
+
+  // Observe coordinates 0 and 2.
+  const int m = 2;
+  Matrix H(m, n, 0.0);
+  H(0, 0) = 1.0;
+  H(1, 2) = 1.0;
+  const Vector d{3.0, 1.0};
+  const Vector r_std{0.5, 0.5};
+
+  Matrix HX(m, N);
+  for (int k = 0; k < N; ++k) {
+    HX(0, k) = X(0, k);
+    HX(1, k) = X(2, k);
+  }
+
+  EnKFOptions opt;
+  opt.path = GetParam();
+  const EnKFStats stats = enkf_analysis(X, HX, d, r_std, rng, opt);
+  EXPECT_EQ(stats.path_used, GetParam());
+
+  KalmanState prior{prior_mean, Matrix::identity(n)};
+  for (int i = 0; i < n; ++i) prior.cov(i, i) = prior_std * prior_std;
+  const KalmanState post = kalman_update(prior, H, d, r_std);
+
+  const Vector mean = ensemble_mean(X);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(mean[i], post.mean[i], 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, EnKFPathParam,
+                         ::testing::Values(SolverPath::kObsSpace,
+                                           SolverPath::kEnsembleSpace));
+
+TEST(EnKF, BothPathsProduceSameAnalysis) {
+  // With identical inputs and the same noise stream, the two algebraically
+  // equivalent solver paths must give nearly identical analyses.
+  const int n = 20, N = 15, m = 8;
+  Rng rng_init(7);
+  const Matrix X0 = gaussian_ensemble(Vector(n, 1.0), 1.0, N, rng_init);
+  Matrix HX(m, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) HX(i, k) = X0(i, k);
+  const Vector d(m, 2.0);
+  const Vector r_std(m, 0.5);
+
+  Matrix X1 = X0, X2 = X0;
+  Rng r1(99), r2(99);
+  EnKFOptions o1, o2;
+  o1.path = SolverPath::kObsSpace;
+  o2.path = SolverPath::kEnsembleSpace;
+  enkf_analysis(X1, HX, d, r_std, r1, o1);
+  enkf_analysis(X2, HX, d, r_std, r2, o2);
+  EXPECT_LT(max_abs_diff(X1, X2), 1e-8);
+}
+
+TEST(EnKF, AnalysisMovesTowardObservations) {
+  Rng rng(8);
+  const int n = 6, N = 40;
+  Matrix X = gaussian_ensemble(Vector(n, 0.0), 1.0, N, rng);
+  Matrix HX = X;
+  const Vector d(n, 5.0);
+  const Vector r_std(n, 0.1);  // trust the data
+  const EnKFStats stats = enkf_analysis(X, HX, d, r_std, rng);
+  const Vector mean = ensemble_mean(X);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(mean[i], 5.0, 0.6);
+  EXPECT_GT(stats.innovation_rms, 4.0);
+  EXPECT_GT(stats.increment_rms, 4.0);
+}
+
+TEST(EnKF, AnalysisShrinksSpread) {
+  Rng rng(9);
+  const int n = 4, N = 60;
+  Matrix X = gaussian_ensemble(Vector(n, 0.0), 2.0, N, rng);
+  Matrix HX = X;
+  const double s0 = spread(X);
+  enkf_analysis(X, HX, Vector(n, 0.0), Vector(n, 0.5), rng);
+  EXPECT_LT(spread(X), s0);
+}
+
+TEST(EnKF, InputValidation) {
+  Rng rng(10);
+  Matrix X(4, 5), HX(2, 5);
+  EXPECT_THROW(enkf_analysis(X, Matrix(2, 4), Vector(2), Vector(2), rng),
+               std::invalid_argument);
+  EXPECT_THROW(enkf_analysis(X, HX, Vector(3), Vector(2), rng),
+               std::invalid_argument);
+  EXPECT_THROW(enkf_analysis(X, HX, Vector(2), Vector(2, -1.0), rng),
+               std::invalid_argument);
+  Matrix X1(4, 1), HX1(2, 1);
+  EXPECT_THROW(enkf_analysis(X1, HX1, Vector(2), Vector(2, 1.0), rng),
+               std::invalid_argument);
+}
+
+TEST(EnKF, AutoPathSwitchesOnObsCount) {
+  Rng rng(11);
+  const int N = 10;
+  Matrix Xs = gaussian_ensemble(Vector(5, 0.0), 1.0, N, rng);
+  Matrix HXs = Xs;
+  EnKFStats s1 = enkf_analysis(Xs, HXs, Vector(5, 0.0), Vector(5, 1.0), rng);
+  EXPECT_EQ(s1.path_used, SolverPath::kObsSpace);  // m = 5 <= 2N
+  Matrix Xl = gaussian_ensemble(Vector(50, 0.0), 1.0, N, rng);
+  Matrix HXl = Xl;
+  EnKFStats s2 = enkf_analysis(Xl, HXl, Vector(50, 0.0), Vector(50, 1.0), rng);
+  EXPECT_EQ(s2.path_used, SolverPath::kEnsembleSpace);  // m = 50 > 2N
+}
+
+TEST(EnKFSequential, MatchesBatchOnSingleObservation) {
+  Rng rng(12);
+  const int n = 5, N = 400;
+  const Matrix X0 = gaussian_ensemble(Vector(n, 0.0), 1.5, N, rng);
+  Matrix Xb = X0, Xs = X0;
+  Matrix HXb(1, N), HXs(1, N);
+  for (int k = 0; k < N; ++k) HXb(0, k) = HXs(0, k) = X0(2, k);
+  const Vector d{2.0};
+  const Vector r_std{0.5};
+  Rng r1(5), r2(5);
+  enkf_analysis(Xb, HXb, d, r_std, r1);
+  enkf_sequential(Xs, HXs, d, r_std, r2);
+  EXPECT_LT(max_abs_diff(Xb, Xs), 1e-8);
+}
+
+namespace {
+// Taper context for the localization test: coordinates on a line, obs at
+// positions 10 and 40, radius 5 -> distant state entries must not move.
+struct LineTaper {
+  static double state_obs(int i, int o, const void*) {
+    const double obs_pos = o == 0 ? 10.0 : 40.0;
+    return gaspari_cohn(std::abs(i - obs_pos), 5.0);
+  }
+  static double obs_obs(int o1, int o2, const void*) {
+    const double p1 = o1 == 0 ? 10.0 : 40.0;
+    const double p2 = o2 == 0 ? 10.0 : 40.0;
+    return gaspari_cohn(std::abs(p1 - p2), 5.0);
+  }
+};
+}  // namespace
+
+TEST(EnKFSequential, LocalizationConfinesIncrements) {
+  Rng rng(13);
+  const int n = 50, N = 20;
+  const Matrix X0 = gaussian_ensemble(Vector(n, 0.0), 1.0, N, rng);
+  Matrix X = X0;
+  Matrix HX(2, N);
+  for (int k = 0; k < N; ++k) {
+    HX(0, k) = X0(10, k);
+    HX(1, k) = X0(40, k);
+  }
+  SequentialOptions opt;
+  opt.state_obs_taper = &LineTaper::state_obs;
+  opt.obs_obs_taper = &LineTaper::obs_obs;
+  enkf_sequential(X, HX, Vector{3.0, -3.0}, Vector{0.3, 0.3}, rng, opt);
+
+  const Vector m0 = ensemble_mean(X0);
+  const Vector m1 = ensemble_mean(X);
+  // Far from both observations (beyond 2c = 10): no change.
+  for (int i : {22, 25, 28}) EXPECT_NEAR(m1[i], m0[i], 1e-10);
+  // At the observations: pulled toward the data.
+  EXPECT_GT(m1[10] - m0[10], 0.5);
+  EXPECT_LT(m1[40] - m0[40], -0.5);
+}
+
+TEST(Localization, GaspariCohnShape) {
+  EXPECT_NEAR(gaspari_cohn(0.0, 10.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(gaspari_cohn(20.0, 10.0), 0.0);  // r = 2c -> 0
+  EXPECT_DOUBLE_EQ(gaspari_cohn(25.0, 10.0), 0.0);
+  double prev = 1.0;
+  for (double r = 0.5; r < 20.0; r += 0.5) {
+    const double v = gaspari_cohn(r, 10.0);
+    EXPECT_LE(v, prev + 1e-12);
+    EXPECT_GE(v, -1e-12);
+    prev = v;
+  }
+  EXPECT_NEAR(gaspari_cohn(10.0 - 1e-9, 10.0), gaspari_cohn(10.0 + 1e-9, 10.0),
+              1e-6);
+}
+
+TEST(Diagnostics, RmseAndRankHistogram) {
+  Rng rng(14);
+  const int n = 2000, N = 10;
+  const Vector zero(n, 0.0);
+  const Matrix X = gaussian_ensemble(zero, 1.0, N, rng);
+  EXPECT_NEAR(rmse_mean_vs_truth(X, zero), 1.0 / std::sqrt(N), 0.05);
+
+  // Rank uniformity holds when the truth is exchangeable with the members:
+  // draw it from the same N(0,1) per coordinate.
+  Vector truth(n);
+  for (auto& v : truth) v = rng.normal();
+  const auto hist = rank_histogram(X, truth);
+  ASSERT_EQ(hist.size(), static_cast<std::size_t>(N + 1));
+  EXPECT_LT(histogram_chi2(hist), 3.0 * N);
+
+  // Biased ensemble: truth always below members -> all mass in bin 0.
+  Matrix Xb = X;
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < n; ++i) Xb(i, k) += 10.0;
+  const auto hist_b = rank_histogram(Xb, truth);
+  EXPECT_EQ(hist_b[0], n);
+  EXPECT_GT(histogram_chi2(hist_b), 100.0 * N);
+}
+
+TEST(Etkf, MatchesKalmanMeanAndCovariance) {
+  // The deterministic transform should match the exact KF posterior not
+  // just in the large-N limit of the mean, but in the *sample covariance*
+  // at any N (square-root property) — modulo prior sampling error.
+  Rng rng(40);
+  const int n = 3, N = 200;  // N^3 Jacobi eigensolve: keep the test quick
+  const Vector prior_mean{0.0, 1.0, -2.0};
+  Matrix X = gaussian_ensemble(prior_mean, 1.5, N, rng);
+  Matrix HX(1, N);
+  for (int k = 0; k < N; ++k) HX(0, k) = X(1, k);
+  const Vector d{3.0};
+  const Vector r_std{0.5};
+
+  const EnKFStats stats = etkf_analysis(X, HX, d, r_std);
+  EXPECT_EQ(stats.m, 1);
+
+  Matrix H(1, n, 0.0);
+  H(0, 1) = 1.0;
+  KalmanState prior{prior_mean, Matrix::identity(n)};
+  for (int i = 0; i < n; ++i) prior.cov(i, i) = 1.5 * 1.5;
+  const KalmanState post = kalman_update(prior, H, d, r_std);
+
+  const Vector mean = ensemble_mean(X);
+  // Unobserved coordinates move only through spurious sample correlations
+  // of the prior (O(1/sqrt(N))), so their tolerance is looser.
+  EXPECT_NEAR(mean[1], post.mean[1], 0.1);
+  EXPECT_NEAR(mean[0], post.mean[0], 0.4);
+  EXPECT_NEAR(mean[2], post.mean[2], 0.4);
+  // Sample variance of the observed coordinate matches the KF posterior.
+  double var = 0;
+  for (int k = 0; k < N; ++k) var += (X(1, k) - mean[1]) * (X(1, k) - mean[1]);
+  var /= (N - 1);
+  EXPECT_NEAR(var, post.cov(1, 1), 0.08);
+}
+
+TEST(Etkf, DeterministicGivenInputs) {
+  Rng rng(41);
+  const int n = 10, N = 12, m = 4;
+  const Matrix X0 = gaussian_ensemble(Vector(n, 0.0), 1.0, N, rng);
+  Matrix HX(m, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) HX(i, k) = X0(i, k);
+  const Vector d(m, 1.0), r_std(m, 0.5);
+  Matrix X1 = X0, X2 = X0;
+  etkf_analysis(X1, HX, d, r_std);
+  etkf_analysis(X2, HX, d, r_std);
+  EXPECT_LT(max_abs_diff(X1, X2), 1e-15);  // no sampling anywhere
+}
+
+TEST(Etkf, LessNoisyThanStochasticAtSmallN) {
+  // With few members the perturbed-observation EnKF adds sampling noise to
+  // the analysis mean; the ETKF does not. Measure the spread of analysis
+  // means across repetitions with different obs-noise seeds.
+  Rng rng(42);
+  const int n = 2, N = 8, m = 2;
+  const Matrix X0 = gaussian_ensemble(Vector(n, 0.0), 1.0, N, rng);
+  Matrix HX0(m, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) HX0(i, k) = X0(i, k);
+  const Vector d(m, 2.0), r_std(m, 0.5);
+
+  // ETKF: a single deterministic answer.
+  Matrix Xe = X0;
+  etkf_analysis(Xe, HX0, d, r_std);
+  const Vector etkf_mean = ensemble_mean(Xe);
+
+  double scatter = 0;
+  const int reps = 20;
+  for (int rep = 0; rep < reps; ++rep) {
+    Matrix Xs = X0;
+    Rng r(1000 + rep);
+    enkf_analysis(Xs, HX0, d, r_std, r);
+    const Vector msd = ensemble_mean(Xs);
+    scatter += (msd[0] - etkf_mean[0]) * (msd[0] - etkf_mean[0]);
+  }
+  scatter = std::sqrt(scatter / reps);
+  // The stochastic means scatter around the deterministic one.
+  EXPECT_GT(scatter, 1e-4);
+  EXPECT_LT(scatter, 0.5);
+}
+
+TEST(Etkf, ShrinksSpreadLikeAnAnalysisShould) {
+  Rng rng(43);
+  const int n = 6, N = 20;
+  Matrix X = gaussian_ensemble(Vector(n, 0.0), 2.0, N, rng);
+  Matrix HX = X;
+  const double s0 = spread(X);
+  etkf_analysis(X, HX, Vector(n, 0.0), Vector(n, 0.5));
+  EXPECT_LT(spread(X), s0);
+  EXPECT_GT(spread(X), 0.0);
+}
+
+TEST(Etkf, InputValidation) {
+  Matrix X(4, 5), HX(2, 5);
+  EXPECT_THROW(etkf_analysis(X, Matrix(2, 4), Vector(2), Vector(2)),
+               std::invalid_argument);
+  EXPECT_THROW(etkf_analysis(X, HX, Vector(2), Vector(2, -1.0)),
+               std::invalid_argument);
+}
+
+TEST(Diagnostics, CrpsRewardsSharpCalibratedEnsembles) {
+  Rng rng(15);
+  const int n = 500;
+  const Vector truth(n, 0.0);
+  const Matrix sharp = gaussian_ensemble(truth, 0.5, 20, rng);
+  const Matrix wide = gaussian_ensemble(truth, 3.0, 20, rng);
+  EXPECT_LT(crps(sharp, truth), crps(wide, truth));
+}

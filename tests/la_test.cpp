@@ -1,0 +1,289 @@
+// Linear algebra tests: BLAS kernels, Cholesky, QR least squares, SVD and
+// symmetric eigensolver, including property-style sweeps on random matrices
+// of varying shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/eigen_sym.h"
+#include "la/matrix.h"
+#include "la/qr.h"
+#include "la/svd.h"
+#include "util/rng.h"
+
+using namespace wfire::la;
+using wfire::util::Rng;
+
+namespace {
+
+Matrix random_spd(int n, Rng& rng) {
+  const Matrix A = Matrix::random_normal(n, n, rng);
+  Matrix S = matmul(A, A, false, true);
+  for (int i = 0; i < n; ++i) S(i, i) += n;  // well-conditioned
+  return S;
+}
+
+}  // namespace
+
+TEST(Blas, DotAxpyNorm) {
+  Vector x{1, 2, 3}, y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  EXPECT_DOUBLE_EQ(nrm2(Vector{3, 4}), 5.0);
+  EXPECT_THROW((void)dot(x, Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Blas, GemvMatchesManual) {
+  Matrix A(2, 3);
+  A(0, 0) = 1; A(0, 1) = 2; A(0, 2) = 3;
+  A(1, 0) = 4; A(1, 1) = 5; A(1, 2) = 6;
+  Vector x{1, 1, 1}, y{0, 0};
+  gemv(1.0, A, x, 0.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  Vector z{0, 0, 0};
+  gemv_t(1.0, A, Vector{1, 1}, 0.0, z);
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+}
+
+TEST(Blas, GemmIdentity) {
+  Rng rng(1);
+  const Matrix A = Matrix::random_normal(7, 5, rng);
+  const Matrix I = Matrix::identity(5);
+  const Matrix B = matmul(A, I);
+  EXPECT_LT(max_abs_diff(A, B), 1e-14);
+}
+
+TEST(Blas, GemmTransposeVariantsAgree) {
+  Rng rng(2);
+  const Matrix A = Matrix::random_normal(6, 4, rng);
+  const Matrix B = Matrix::random_normal(4, 3, rng);
+  const Matrix C1 = matmul(A, B);
+  const Matrix C2 = matmul(A.transposed(), B, true, false);
+  EXPECT_LT(max_abs_diff(C1, C2), 1e-12);
+  const Matrix C3 = matmul(A, B.transposed(), false, true);
+  EXPECT_LT(max_abs_diff(C1, C3), 1e-12);
+}
+
+TEST(Blas, GemmAccumulatesWithBeta) {
+  Matrix A = Matrix::identity(3);
+  Matrix C(3, 3, 1.0);
+  gemm(false, false, 2.0, A, A, 3.0, C);
+  EXPECT_DOUBLE_EQ(C(0, 0), 5.0);   // 3*1 + 2*1
+  EXPECT_DOUBLE_EQ(C(0, 1), 3.0);   // 3*1 + 0
+}
+
+class CholeskyParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyParam, FactorReconstructsAndSolves) {
+  Rng rng(GetParam());
+  const int n = GetParam();
+  const Matrix S = random_spd(n, rng);
+  const CholeskyResult f = cholesky(S);
+  EXPECT_EQ(f.jitter_tries, 0);
+  const Matrix R = matmul(f.L, f.L, false, true);
+  EXPECT_LT(max_abs_diff(S, R), 1e-9 * n);
+
+  Vector x_true(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) x_true[i] = std::sin(i + 1.0);
+  Vector b(static_cast<std::size_t>(n), 0.0);
+  gemv(1.0, S, x_true, 0.0, b);
+  cholesky_solve(f.L, b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyParam,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 60));
+
+TEST(Cholesky, JitterRecoversSemidefinite) {
+  // Rank-1 matrix: positive semidefinite, needs a jitter boost.
+  Matrix S(3, 3);
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 3; ++i) S(i, j) = (i + 1.0) * (j + 1.0);
+  const CholeskyResult f = cholesky(S);
+  EXPECT_GT(f.jitter_tries, 0);
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  Matrix S = Matrix::identity(3);
+  S(2, 2) = -5.0;
+  EXPECT_THROW(cholesky(S, 1), std::runtime_error);
+}
+
+TEST(Cholesky, LogDetMatches) {
+  Matrix S = Matrix::identity(3);
+  S(0, 0) = 2.0;
+  S(1, 1) = 4.0;
+  const CholeskyResult f = cholesky(S);
+  EXPECT_NEAR(cholesky_logdet(f.L), std::log(8.0), 1e-12);
+}
+
+class QrParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrParam, LeastSquaresMatchesNormalEquations) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 100 + n);
+  const Matrix A = Matrix::random_normal(m, n, rng);
+  Vector b(static_cast<std::size_t>(m));
+  for (auto& v : b) v = rng.normal();
+
+  const Vector x = least_squares(A, b);
+
+  // Normal equations solution.
+  const Matrix AtA = matmul(A, A, true, false);
+  Vector Atb(static_cast<std::size_t>(n), 0.0);
+  gemv_t(1.0, A, b, 0.0, Atb);
+  const CholeskyResult f = cholesky(AtA);
+  cholesky_solve(f.L, Atb);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], Atb[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QrParam,
+    ::testing::Values(std::pair{5, 5}, std::pair{10, 3}, std::pair{50, 10},
+                      std::pair{100, 25}, std::pair{30, 30}));
+
+TEST(Qr, EconomyQROrthonormalAndReconstructs) {
+  Rng rng(9);
+  const Matrix A = Matrix::random_normal(12, 5, rng);
+  const QrFactor f = qr_factor(A);
+  const Matrix Q = economy_q(f);
+  const Matrix R = economy_r(f);
+  const Matrix QtQ = matmul(Q, Q, true, false);
+  EXPECT_LT(max_abs_diff(QtQ, Matrix::identity(5)), 1e-12);
+  const Matrix QR = matmul(Q, R);
+  EXPECT_LT(max_abs_diff(QR, A), 1e-12);
+}
+
+TEST(Qr, MultiRhsMatchesSingle) {
+  Rng rng(10);
+  const Matrix A = Matrix::random_normal(20, 6, rng);
+  const Matrix B = Matrix::random_normal(20, 3, rng);
+  const Matrix X = least_squares(A, B);
+  for (int j = 0; j < 3; ++j) {
+    Vector b(B.col(j).begin(), B.col(j).end());
+    const Vector x = least_squares(A, b);
+    for (int i = 0; i < 6; ++i) EXPECT_NEAR(X(i, j), x[i], 1e-10);
+  }
+}
+
+TEST(Qr, ThrowsOnWide) {
+  Rng rng(11);
+  const Matrix A = Matrix::random_normal(3, 5, rng);
+  EXPECT_THROW(qr_factor(A), std::invalid_argument);
+}
+
+class SvdParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdParam, ReconstructsAndOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 31 + n);
+  const Matrix A = Matrix::random_normal(m, n, rng);
+  const SvdResult s = svd(A);
+  const int r = std::min(m, n);
+  ASSERT_EQ(static_cast<int>(s.sigma.size()), r);
+
+  // Singular values descending and nonnegative.
+  for (int i = 1; i < r; ++i) EXPECT_LE(s.sigma[i], s.sigma[i - 1] + 1e-12);
+  EXPECT_GE(s.sigma[r - 1], 0.0);
+
+  // U^T U = I, V^T V = I.
+  EXPECT_LT(max_abs_diff(matmul(s.U, s.U, true, false), Matrix::identity(r)),
+            1e-9);
+  EXPECT_LT(max_abs_diff(matmul(s.V, s.V, true, false), Matrix::identity(r)),
+            1e-9);
+
+  // A = U S V^T.
+  Matrix US = s.U;
+  for (int j = 0; j < r; ++j)
+    for (int i = 0; i < m; ++i) US(i, j) *= s.sigma[j];
+  EXPECT_LT(max_abs_diff(matmul(US, s.V, false, true), A), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdParam,
+    ::testing::Values(std::pair{5, 5}, std::pair{20, 4}, std::pair{4, 20},
+                      std::pair{50, 8}, std::pair{8, 50}, std::pair{1, 6},
+                      std::pair{6, 1}));
+
+TEST(Svd, SolveMatchesQrOnFullRank) {
+  Rng rng(12);
+  const Matrix A = Matrix::random_normal(30, 6, rng);
+  Vector b(30);
+  for (auto& v : b) v = rng.normal();
+  const SvdResult s = svd(A);
+  const Vector x_svd = svd_solve(s, b);
+  const Vector x_qr = least_squares(A, b);
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(x_svd[i], x_qr[i], 1e-8);
+}
+
+TEST(Svd, PseudoInverseHandlesRankDeficiency) {
+  // Duplicate columns -> rank 1; the pseudo-inverse solution is still finite.
+  Matrix A(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    A(i, 0) = i + 1.0;
+    A(i, 1) = i + 1.0;
+  }
+  Vector b{1, 2, 3, 4};
+  const SvdResult s = svd(A);
+  EXPECT_NEAR(s.sigma[1], 0.0, 1e-10);
+  const Vector x = svd_solve(s, b);
+  EXPECT_TRUE(std::isfinite(x[0]));
+  // Minimum-norm solution splits the weight evenly.
+  EXPECT_NEAR(x[0], x[1], 1e-10);
+}
+
+TEST(EigenSym, DiagonalizesKnownMatrix) {
+  Matrix A(2, 2);
+  A(0, 0) = 2;
+  A(0, 1) = A(1, 0) = 1;
+  A(1, 1) = 2;
+  const EigenSymResult e = eigen_sym(A);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+}
+
+TEST(EigenSym, ReconstructsRandomSymmetric) {
+  Rng rng(14);
+  const int n = 12;
+  Matrix A = Matrix::random_normal(n, n, rng);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < j; ++i) A(i, j) = A(j, i);
+  const EigenSymResult e = eigen_sym(A);
+  Matrix VD = e.vectors;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) VD(i, j) *= e.values[j];
+  EXPECT_LT(max_abs_diff(matmul(VD, e.vectors, false, true), A), 1e-8);
+}
+
+TEST(EigenSym, MatrixFunctionInverseSqrt) {
+  Rng rng(15);
+  const Matrix S = random_spd(6, rng);
+  const EigenSymResult e = eigen_sym(S);
+  const Matrix Si = matrix_function(e, [](double x) { return 1.0 / x; });
+  EXPECT_LT(max_abs_diff(matmul(S, Si), Matrix::identity(6)), 1e-8);
+}
+
+TEST(EigenSym, RejectsAsymmetric) {
+  Matrix A(2, 2, 0.0);
+  A(0, 1) = 1.0;
+  EXPECT_THROW(eigen_sym(A), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Rng rng(16);
+  const Matrix A = Matrix::random_normal(5, 9, rng);
+  EXPECT_LT(max_abs_diff(A.transposed().transposed(), A), 1e-15);
+}
+
+TEST(Matrix, ColSpanIsContiguousColumn) {
+  Matrix A(3, 2, 0.0);
+  auto c1 = A.col(1);
+  c1[0] = 7.0;
+  EXPECT_DOUBLE_EQ(A(0, 1), 7.0);
+}

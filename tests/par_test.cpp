@@ -1,0 +1,70 @@
+// Thread pool and ensemble runner tests: correctness under concurrency,
+// exception propagation, and phase timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "par/ensemble_runner.h"
+#include "par/thread_pool.h"
+
+using namespace wfire::par;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(257, [&](int i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](int i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ManyConcurrentIncrements) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  pool.parallel_for(1000, [&](int i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPool, SubmitFutureCarriesException) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::logic_error("bad"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(EnsembleRunner, RecordsPhaseTimings) {
+  EnsembleRunner runner(2);
+  std::atomic<int> count{0};
+  runner.run_phase("advance", 10, [&](int) { count.fetch_add(1); });
+  runner.run_serial_phase("enkf", [&] { count.fetch_add(100); });
+  EXPECT_EQ(count.load(), 110);
+  ASSERT_EQ(runner.timings().size(), 2u);
+  EXPECT_EQ(runner.timings()[0].name, "advance");
+  EXPECT_EQ(runner.timings()[1].name, "enkf");
+  EXPECT_GE(runner.total_seconds(), 0.0);
+  runner.clear_timings();
+  EXPECT_TRUE(runner.timings().empty());
+}
+
+TEST(EnsembleRunner, MemberTasksSeeTheirIndex) {
+  EnsembleRunner runner(3);
+  std::vector<int> seen(25, -1);
+  runner.run_phase("advance", 25, [&](int k) { seen[k] = k; });
+  for (int k = 0; k < 25; ++k) EXPECT_EQ(seen[k], k);
+}

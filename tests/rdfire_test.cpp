@@ -1,0 +1,136 @@
+// Reaction-diffusion-convection fire model tests (the paper's ref [12]
+// substrate): traveling combustion waves, fuel consumption, wind advection,
+// parameter monotonicity, and stability guards.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fire/reaction_diffusion.h"
+
+using namespace wfire::fire;
+using wfire::grid::Grid2D;
+
+namespace {
+
+Grid2D rd_grid() { return Grid2D(121, 41, 2.0, 2.0); }  // 240 x 80 m strip
+
+RdFireModel ignited(const Grid2D& g, RdFireParams p = {}) {
+  RdFireModel model(g, p);
+  model.ignite(30.0, 40.0, 10.0);
+  return model;
+}
+
+// Front speed from two position samples after the wave develops.
+double front_speed(RdFireModel& model, double dt, double vx = 0.0) {
+  const int warmup = static_cast<int>(20.0 / dt);
+  for (int s = 0; s < warmup; ++s) model.step(dt, vx, 0.0);
+  const double x0 = model.front_position_x();
+  const double t0 = model.state().time;
+  const int run = static_cast<int>(40.0 / dt);
+  for (int s = 0; s < run; ++s) model.step(dt, vx, 0.0);
+  const double x1 = model.front_position_x();
+  return (x1 - x0) / (model.state().time - t0);
+}
+
+}  // namespace
+
+TEST(RdFire, AmbientStateIsSteady) {
+  const Grid2D g = rd_grid();
+  RdFireModel model(g);
+  const double dt = 0.9 * model.stable_dt();
+  for (int s = 0; s < 50; ++s) model.step(dt, 1.0, 0.0);
+  EXPECT_NEAR(model.max_temperature(), 300.0, 1e-9);
+  EXPECT_NEAR(model.mean_fuel(), 1.0, 1e-12);
+}
+
+TEST(RdFire, ReactionRateIsArrheniusLike) {
+  const Grid2D g = rd_grid();
+  RdFireModel model(g);
+  EXPECT_DOUBLE_EQ(model.reaction_rate(300.0), 0.0);  // at ambient
+  EXPECT_DOUBLE_EQ(model.reaction_rate(250.0), 0.0);  // below ambient
+  EXPECT_GT(model.reaction_rate(600.0), model.reaction_rate(400.0));
+  EXPECT_LT(model.reaction_rate(600.0), 1.0);
+}
+
+TEST(RdFire, IgnitionLaunchesTravelingWave) {
+  const Grid2D g = rd_grid();
+  RdFireModel model = ignited(g);
+  const double dt = 0.9 * model.stable_dt();
+  const double speed = front_speed(model, dt);
+  EXPECT_GT(speed, 0.05);  // the wave moves
+  EXPECT_LT(speed, 5.0);   // at a physical fire pace
+  // Combustion sustains itself: temperature stays far above ambient.
+  EXPECT_GT(model.max_temperature(), 500.0);
+}
+
+TEST(RdFire, FuelConsumedBehindFront) {
+  const Grid2D g = rd_grid();
+  RdFireModel model = ignited(g);
+  const double dt = 0.9 * model.stable_dt();
+  for (int s = 0; s < static_cast<int>(60.0 / dt); ++s) model.step(dt, 0, 0);
+  // Fuel at the ignition point is depleted; fuel far ahead is untouched.
+  EXPECT_LT(model.state().beta(15, 20), 0.5);
+  EXPECT_NEAR(model.state().beta(110, 20), 1.0, 1e-6);
+  EXPECT_LT(model.mean_fuel(), 1.0);
+}
+
+TEST(RdFire, WindAdvectsTheFront) {
+  const Grid2D g = rd_grid();
+  RdFireModel calm = ignited(g);
+  RdFireModel windy = ignited(g);
+  const double dt = 0.45 * calm.stable_dt();
+  const double s_calm = front_speed(calm, dt, 0.0);
+  const double s_windy = front_speed(windy, dt, 0.5);
+  EXPECT_GT(s_windy, s_calm + 0.1);
+}
+
+TEST(RdFire, StrongerReactionFasterWave) {
+  const Grid2D g = rd_grid();
+  RdFireParams weak, strong;
+  weak.A = 120.0;
+  strong.A = 260.0;
+  RdFireModel mw = ignited(g, weak);
+  RdFireModel ms = ignited(g, strong);
+  const double dt = 0.9 * mw.stable_dt();
+  EXPECT_GT(front_speed(ms, dt), front_speed(mw, dt));
+}
+
+TEST(RdFire, HigherActivationSlowerWave) {
+  const Grid2D g = rd_grid();
+  RdFireParams low, high;
+  low.B = 200.0;
+  high.B = 350.0;
+  RdFireModel ml = ignited(g, low);
+  RdFireModel mh = ignited(g, high);
+  const double dt = 0.9 * ml.stable_dt();
+  EXPECT_GT(front_speed(ml, dt), front_speed(mh, dt));
+}
+
+TEST(RdFire, CoolingExtinguishesWeakFires) {
+  const Grid2D g = rd_grid();
+  RdFireParams p;
+  p.A = 20.0;   // too little heating
+  p.C = 0.3;    // strong cooling
+  RdFireModel model = ignited(g, p);
+  const double dt = 0.9 * model.stable_dt();
+  for (int s = 0; s < static_cast<int>(120.0 / dt); ++s) model.step(dt, 0, 0);
+  EXPECT_LT(model.max_temperature(), 320.0);  // died out
+  EXPECT_TRUE(std::isinf(model.front_position_x()));
+}
+
+TEST(RdFire, RejectsUnstableDt) {
+  const Grid2D g = rd_grid();
+  RdFireModel model(g);
+  EXPECT_THROW(model.step(10.0 * model.stable_dt(), 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(model.step(-1.0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(RdFireModel(g, RdFireParams{.k = -1.0}),
+               std::invalid_argument);
+}
+
+TEST(RdFire, FrontPositionTracksThreshold) {
+  const Grid2D g = rd_grid();
+  RdFireModel model = ignited(g);
+  // Fresh ignition: front at the right edge of the hot disc.
+  EXPECT_NEAR(model.front_position_x(), 40.0, 3.0);
+}
