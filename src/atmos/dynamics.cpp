@@ -1,5 +1,7 @@
 #include "atmos/dynamics.h"
 
+#include "util/omp_compat.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -30,7 +32,7 @@ void compute_tendencies(const grid::Grid3D& g, const AmbientProfile& amb,
   auto scalar_tendency = [&](const util::Array3D<double>& f,
                              const util::Array3D<double>* src,
                              util::Array3D<double>& out) {
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
     for (int k = 0; k < nz; ++k) {
       for (int j = 0; j < ny; ++j) {
         for (int i = 0; i < nx; ++i) {
@@ -78,7 +80,7 @@ void compute_tendencies(const grid::Grid3D& g, const AmbientProfile& amb,
   scalar_tendency(s.qv, qv_src, t.dqv);
 
   // ---- u momentum (x-faces) ----
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int k = 0; k < nz; ++k) {
     const double z = g.zc(k);
     const double uamb = amb.wind_u * amb.wind_profile(z);
@@ -125,7 +127,7 @@ void compute_tendencies(const grid::Grid3D& g, const AmbientProfile& amb,
   }
 
   // ---- v momentum (y-faces) ----
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int k = 0; k < nz; ++k) {
     const double z = g.zc(k);
     const double vamb = amb.wind_v * amb.wind_profile(z);
@@ -169,7 +171,7 @@ void compute_tendencies(const grid::Grid3D& g, const AmbientProfile& amb,
   }
 
   // ---- w momentum (z-faces, interior only) ----
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int k = 1; k < nz; ++k) {
     const double zf = k * g.dz;  // face height
     for (int j = 0; j < ny; ++j) {
@@ -223,7 +225,7 @@ void apply_tendencies(const grid::Grid3D& g, const Tendencies& t, double dt,
     const double* a = src.data();
     double* b = dst.data();
     const std::size_t n = dst.size();
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
     for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i)
       b[i] += dt * a[i];
   };

@@ -1,5 +1,7 @@
 #include "atmos/model.h"
 
+#include "util/omp_compat.h"
+
 #include <cmath>
 
 namespace wfire::atmos {
@@ -28,7 +30,7 @@ void WrfLite::set_forcing(const util::Array3D<double>* theta_src,
 SolveStats WrfLite::project() {
   const int nx = grid_.nx, ny = grid_.ny, nz = grid_.nz;
   // rhs = div(u*) ; the dt factor is absorbed into phi.
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int k = 0; k < nz; ++k)
     for (int j = 0; j < ny; ++j)
       for (int i = 0; i < nx; ++i)
@@ -36,7 +38,7 @@ SolveStats WrfLite::project() {
   remove_mean(rhs_);
   const SolveStats stats = mg_->solve(rhs_, phi_);
   // u -= grad(phi): x-face i sits between cells i-1 and i.
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int k = 0; k < nz; ++k) {
     for (int j = 0; j < ny; ++j) {
       for (int i = 0; i < nx; ++i) {
@@ -47,7 +49,7 @@ SolveStats WrfLite::project() {
       }
     }
   }
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int k = 1; k < nz; ++k)
     for (int j = 0; j < ny; ++j)
       for (int i = 0; i < nx; ++i)

@@ -1,5 +1,7 @@
 #include "atmos/state.h"
 
+#include "util/omp_compat.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -40,7 +42,7 @@ double cell_divergence(const grid::Grid3D& g, const AtmosState& s, int i,
 
 double max_divergence(const grid::Grid3D& g, const AtmosState& s) {
   double worst = 0;
-#pragma omp parallel for schedule(static) reduction(max : worst)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) reduction(max : worst))
   for (int k = 0; k < g.nz; ++k)
     for (int j = 0; j < g.ny; ++j)
       for (int i = 0; i < g.nx; ++i)

@@ -1,5 +1,7 @@
 #include "fire/model.h"
 
+#include "util/omp_compat.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -64,7 +66,7 @@ void FireModel::apply_pending_ignitions() {
 
 void FireModel::update_ignition_times(const util::Array2D<double>& psi_before,
                                       double t_before, double dt) {
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < grid_.ny; ++j) {
     for (int i = 0; i < grid_.nx; ++i) {
       if (state_.tig(i, j) != kNotIgnited) continue;
@@ -116,7 +118,7 @@ FireOutputs FireModel::step(double dt,
   out.sensible_flux = util::Array2D<double>(grid_.nx, grid_.ny, 0.0);
   out.latent_flux = util::Array2D<double>(grid_.nx, grid_.ny, 0.0);
   double total_sens = 0, total_lat = 0;
-#pragma omp parallel for schedule(static) reduction(+ : total_sens, total_lat)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) reduction(+ : total_sens, total_lat))
   for (int j = 0; j < grid_.ny; ++j) {
     for (int i = 0; i < grid_.nx; ++i) {
       const double ti = state_.tig(i, j);

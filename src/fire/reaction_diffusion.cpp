@@ -1,5 +1,7 @@
 #include "fire/reaction_diffusion.h"
 
+#include "util/omp_compat.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -44,7 +46,7 @@ void RdFireModel::step(double dt, double vx, double vy) {
   const double ihx = 1.0 / grid_.dx, ihy = 1.0 / grid_.dy;
   const double ihx2 = ihx * ihx, ihy2 = ihy * ihy;
 
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < grid_.ny; ++j) {
     for (int i = 0; i < grid_.nx; ++i) {
       const double Tc = state_.T(i, j);

@@ -1,5 +1,7 @@
 #include "fire/spread.h"
 
+#include "util/omp_compat.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -26,7 +28,7 @@ void spread_field(const grid::Grid2D& g, const util::Array2D<double>& psi,
   util::Array2D<double> nx_f, ny_f;
   levelset::normals(g, psi, nx_f, ny_f);
 
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < g.ny; ++j) {
     for (int i = 0; i < g.nx; ++i) {
       const FuelCategory* cat = fuel.at(i, j);

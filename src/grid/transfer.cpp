@@ -1,5 +1,7 @@
 #include "grid/transfer.h"
 
+#include "util/omp_compat.h"
+
 #include <stdexcept>
 
 #include "grid/interp.h"
@@ -12,7 +14,7 @@ void restrict_average(const util::Array2D<double>& fine, int ratio,
   if (fine.nx() != coarse.nx() * ratio || fine.ny() != coarse.ny() * ratio)
     throw std::invalid_argument("restrict_average: dims mismatch");
   const double inv = 1.0 / (ratio * ratio);
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int J = 0; J < coarse.ny(); ++J) {
     for (int I = 0; I < coarse.nx(); ++I) {
       double s = 0;
@@ -27,7 +29,7 @@ void prolong_bilinear(const util::Array2D<double>& coarse, int ratio,
                       util::Array2D<double>& fine) {
   if (ratio < 1) throw std::invalid_argument("prolong_bilinear: ratio < 1");
   const double inv = 1.0 / ratio;
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < fine.ny(); ++j) {
     for (int i = 0; i < fine.nx(); ++i) {
       const double fi = i * inv;

@@ -1,5 +1,7 @@
 #include "la/blas.h"
 
+#include "util/omp_compat.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -68,7 +70,7 @@ void gemm(bool transA, bool transB, double alpha, const Matrix& A,
     throw std::invalid_argument("gemm: size mismatch");
 
   constexpr int kBlock = 64;
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j0 = 0; j0 < n; j0 += kBlock) {
     const int j1 = std::min(j0 + kBlock, n);
     for (int i0 = 0; i0 < m; i0 += kBlock) {

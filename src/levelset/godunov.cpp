@@ -1,5 +1,7 @@
 #include "levelset/godunov.h"
 
+#include "util/omp_compat.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -32,7 +34,7 @@ void gradient_magnitude(const grid::Grid2D& g,
   if (!gradmag.same_shape(psi)) gradmag = util::Array2D<double>(nx, ny);
   const double ihx = 1.0 / g.dx, ihy = 1.0 / g.dy;
 
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < ny; ++j) {
     for (int i = 0; i < nx; ++i) {
       // One-sided differences with clamped (copy-out) boundary values: the
@@ -81,7 +83,7 @@ void normals(const grid::Grid2D& g, const util::Array2D<double>& psi,
   if (!ny_out.same_shape(psi)) ny_out = util::Array2D<double>(nx, ny);
   const double ihx = 0.5 / g.dx, ihy = 0.5 / g.dy;
 
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < ny; ++j) {
     for (int i = 0; i < nx; ++i) {
       const double gx = (psi.at_clamped(i + 1, j) - psi.at_clamped(i - 1, j)) * ihx;

@@ -1,5 +1,7 @@
 #include "levelset/initialize.h"
 
+#include "util/omp_compat.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -44,7 +46,7 @@ void initialize_signed_distance(const grid::Grid2D& g,
                                 util::Array2D<double>& psi) {
   psi = util::Array2D<double>(g.nx, g.ny);
   const double far = std::max(g.width(), g.height()) + g.dx;
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < g.ny; ++j) {
     for (int i = 0; i < g.nx; ++i) {
       double d = far;

@@ -1,5 +1,7 @@
 #include "levelset/integrator.h"
 
+#include "util/omp_compat.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -22,7 +24,7 @@ StepStats step_euler(const grid::Grid2D& g, const util::Array2D<double>& speed,
     throw std::invalid_argument("step_euler: speed/psi shape mismatch");
   util::Array2D<double> grad;
   gradient_magnitude(g, psi, scheme, grad);
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < g.ny; ++j)
     for (int i = 0; i < g.nx; ++i)
       psi(i, j) -= dt * speed(i, j) * grad(i, j);
@@ -38,13 +40,13 @@ StepStats step_heun(const grid::Grid2D& g, const util::Array2D<double>& speed,
   gradient_magnitude(g, psi, scheme, k1);
 
   util::Array2D<double> predictor = psi;
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < g.ny; ++j)
     for (int i = 0; i < g.nx; ++i)
       predictor(i, j) -= dt * speed(i, j) * k1(i, j);
 
   gradient_magnitude(g, predictor, scheme, k2);
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < g.ny; ++j)
     for (int i = 0; i < g.nx; ++i)
       psi(i, j) -= 0.5 * dt * speed(i, j) * (k1(i, j) + k2(i, j));

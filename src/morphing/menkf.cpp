@@ -1,5 +1,7 @@
 #include "morphing/menkf.h"
 
+#include "util/omp_compat.h"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -48,7 +50,7 @@ MorphingStats MorphingEnKF::analyze(std::vector<MorphMember>& members,
   std::vector<std::vector<util::Array2D<double>>> R(
       static_cast<std::size_t>(N));
   double reg_res = 0;
-#pragma omp parallel for schedule(dynamic) reduction(+ : reg_res)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(dynamic) reduction(+ : reg_res))
   for (int k = 0; k < N; ++k) {
     RegistrationResult reg =
         register_fields(members[k].fields[0], u0[0], opt_.reg);
@@ -117,7 +119,7 @@ MorphingStats MorphingEnKF::analyze(std::vector<MorphMember>& members,
   stats.enkf = enkf::enkf_analysis(X, HX, d, r_std, rng, eopt);
 
   // Decode members back to field form.
-#pragma omp parallel for schedule(dynamic)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(dynamic))
   for (int k = 0; k < N; ++k) {
     const auto xc = X.col(k);
     std::size_t pos = 0;

@@ -1,5 +1,7 @@
 #include "scene/thermal.h"
 
+#include "util/omp_compat.h"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -25,7 +27,7 @@ void GroundThermalModel::temperature_map(const util::Array2D<double>& tig,
                                          util::Array2D<double>& T_out) const {
   if (!T_out.same_shape(tig))
     T_out = util::Array2D<double>(tig.nx(), tig.ny());
-#pragma omp parallel for schedule(static)
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < tig.ny(); ++j)
     for (int i = 0; i < tig.nx(); ++i) {
       const double ti = tig(i, j);

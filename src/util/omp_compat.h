@@ -1,0 +1,12 @@
+// OpenMP pragma shim: WFIRE_PRAGMA_OMP(omp parallel for ...) expands to the
+// real pragma when the build enables OpenMP (WFIRE_HAVE_OPENMP) and to
+// nothing otherwise, so serial builds compile warning-clean without
+// -Wunknown-pragmas noise.
+#pragma once
+
+#if defined(WFIRE_HAVE_OPENMP)
+#define WFIRE_OMP_STRINGIFY(...) #__VA_ARGS__
+#define WFIRE_PRAGMA_OMP(...) _Pragma(WFIRE_OMP_STRINGIFY(__VA_ARGS__))
+#else
+#define WFIRE_PRAGMA_OMP(...)
+#endif
