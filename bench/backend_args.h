@@ -1,0 +1,20 @@
+// Shared mapping between a Google-Benchmark integer argument and the LA
+// kernel backend it selects, so every bench encodes backends the same way
+// (0 = blocked, 1 = reference) and labels rows consistently.
+#pragma once
+
+#include <cstdint>
+
+#include "la/backend.h"
+
+namespace wfire::bench {
+
+inline la::Backend arg_backend(std::int64_t v) {
+  return v == 0 ? la::Backend::kBlocked : la::Backend::kReference;
+}
+
+inline const char* backend_name(std::int64_t v) {
+  return v == 0 ? "blocked" : "reference";
+}
+
+}  // namespace wfire::bench

@@ -11,10 +11,15 @@
 
 #include <cstdio>
 
+#include "backend_args.h"
 #include "enkf/enkf.h"
 #include "enkf/ensemble.h"
+#include "la/backend.h"
+#include "la/workspace.h"
 
 using namespace wfire;
+using wfire::bench::arg_backend;
+using wfire::bench::backend_name;
 
 namespace {
 
@@ -120,6 +125,80 @@ BENCHMARK(BM_EnKF_EnsembleSize)
     ->Arg(10)
     ->Arg(25)
     ->Arg(50);
+
+// The acceptance shape for the blocked backend: a state of n >= 20k (image
+// assimilation scale) with the paper's N = 25 members, per backend, with a
+// reused workspace so steady-state analyses are allocation-free. The
+// blocked/reference ratio of these timings is the headline number in
+// BENCH_pr3.json.
+static void BM_EnKF_LargeStateObsSpace(benchmark::State& state) {
+  const std::int64_t be = state.range(0);
+  const int n = 20000, m = 1000, N = 25;
+  util::Rng rng(17);
+  const Problem base = make_problem(n, m, N, rng);
+  ScopedBackend scope(arg_backend(be));
+  Workspace ws;
+  EnKFOptions opt;
+  opt.path = SolverPath::kObsSpace;
+  opt.workspace = &ws;
+  for (auto _ : state) {
+    Matrix X = base.X;
+    util::Rng r(7);
+    const EnKFStats s = enkf_analysis(X, base.HX, base.d, base.r_std, r, opt);
+    benchmark::DoNotOptimize(s.increment_rms);
+  }
+  state.SetLabel(backend_name(be));
+}
+BENCHMARK(BM_EnKF_LargeStateObsSpace)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1);
+
+static void BM_EnKF_LargeStateEnsembleSpace(benchmark::State& state) {
+  const std::int64_t be = state.range(0);
+  const int n = 20000, m = 10000, N = 25;
+  util::Rng rng(19);
+  const Problem base = make_problem(n, m, N, rng);
+  ScopedBackend scope(arg_backend(be));
+  Workspace ws;
+  EnKFOptions opt;
+  opt.path = SolverPath::kEnsembleSpace;
+  opt.workspace = &ws;
+  for (auto _ : state) {
+    Matrix X = base.X;
+    util::Rng r(7);
+    const EnKFStats s = enkf_analysis(X, base.HX, base.d, base.r_std, r, opt);
+    benchmark::DoNotOptimize(s.increment_rms);
+  }
+  state.SetLabel(backend_name(be));
+}
+BENCHMARK(BM_EnKF_LargeStateEnsembleSpace)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1);
+
+static void BM_EnKF_LargeStateSequential(benchmark::State& state) {
+  const std::int64_t be = state.range(0);
+  const int n = 20000, m = 100, N = 25;
+  util::Rng rng(23);
+  const Problem base = make_problem(n, m, N, rng);
+  ScopedBackend scope(arg_backend(be));
+  Workspace ws;
+  SequentialOptions opt;
+  opt.workspace = &ws;
+  for (auto _ : state) {
+    Matrix X = base.X;
+    Matrix HX = base.HX;
+    util::Rng r(13);
+    const EnKFStats s = enkf_sequential(X, HX, base.d, base.r_std, r, opt);
+    benchmark::DoNotOptimize(s.increment_rms);
+  }
+  state.SetLabel(backend_name(be));
+}
+BENCHMARK(BM_EnKF_LargeStateSequential)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1);
 
 static void BM_EnKF_Sequential(benchmark::State& state) {
   // Sequential filter cost per observation (the localized path).

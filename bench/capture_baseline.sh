@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Captures the Fig. 2 / EnKF / LA-kernel benchmark baseline into JSON files
+# for an OpenMP-on Release build and a serial (-DWFIRE_OPENMP=OFF) Release
+# build. Merge the four outputs into BENCH_<tag>.json with merge_baseline.py.
+#
+# Usage: bench/capture_baseline.sh <omp_build_dir> <serial_build_dir> <outdir>
+set -euo pipefail
+omp_dir=$1
+serial_dir=$2
+outdir=$3
+mkdir -p "$outdir"
+
+for bench in bench_fig2_scaling bench_sub_enkf bench_sub_la; do
+  "$omp_dir/bench/$bench" \
+    --benchmark_out="$outdir/${bench}_omp.json" \
+    --benchmark_out_format=json >/dev/null
+  "$serial_dir/bench/$bench" \
+    --benchmark_out="$outdir/${bench}_serial.json" \
+    --benchmark_out_format=json >/dev/null
+done
+echo "captured into $outdir"

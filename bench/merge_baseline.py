@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Merges the per-binary Google-Benchmark JSON outputs produced by
+bench/capture_baseline.sh into one BENCH_<tag>.json in the same shape as
+BENCH_seed.json: for every benchmark, the OpenMP-on and serial real times
+plus their ratio, and the benchmark's label (the LA backend) when set.
+
+Usage: merge_baseline.py <capture_dir> <out_json> [--note "..."]
+"""
+import json
+import platform
+import subprocess
+import sys
+from datetime import date
+from pathlib import Path
+
+BENCHES = ["bench_fig2_scaling", "bench_sub_enkf", "bench_sub_la"]
+
+
+def load_times(path: Path) -> dict:
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = {
+            "real_time": b["real_time"],
+            "time_unit": b["time_unit"],
+            "label": b.get("label", ""),
+        }
+    return out
+
+
+def main() -> int:
+    capture_dir = Path(sys.argv[1])
+    out_path = Path(sys.argv[2])
+    note = ""
+    if len(sys.argv) > 4 and sys.argv[3] == "--note":
+        note = sys.argv[4]
+
+    nproc = subprocess.run(["nproc"], capture_output=True, text=True)
+    merged = {
+        "meta": {
+            "captured": date.today().isoformat(),
+            "machine": f"{platform.node() or 'container'}, "
+                       f"{nproc.stdout.strip() or '?'} CPU core(s) visible",
+            "note": note,
+            "command": "bench/capture_baseline.sh <omp_build> <serial_build> "
+                       "<dir> && bench/merge_baseline.py <dir> <out>",
+        },
+        "benchmarks": {},
+    }
+
+    for bench in BENCHES:
+        omp = load_times(capture_dir / f"{bench}_omp.json")
+        serial = load_times(capture_dir / f"{bench}_serial.json")
+        for name, o in omp.items():
+            entry = {
+                "bench": bench,
+                "time_unit": o["time_unit"],
+                "real_time_omp": round(o["real_time"], 3),
+            }
+            if o["label"]:
+                entry["backend"] = o["label"]
+            s = serial.get(name)
+            if s:
+                entry["real_time_serial"] = round(s["real_time"], 3)
+                if o["real_time"] > 0:
+                    entry["serial_over_omp_ratio"] = round(
+                        s["real_time"] / o["real_time"], 3)
+            merged["benchmarks"][name] = entry
+
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(merged['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+# Test driver for the example smoke runs: executes the example with its
+# small-workload arguments, tees stdout to a log, and verifies the SMOKE
+# summary lines against the committed golden values via smoke_check.
+#
+# cmake -DEXE=... -DARGS="a;b" -DCHECKER=... -DGOLDEN=... -DLOG=...
+#       -DWORKDIR=... -P RunSmokeCheck.cmake
+foreach(var EXE CHECKER GOLDEN LOG WORKDIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunSmokeCheck: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${EXE} ${ARGS}
+  WORKING_DIRECTORY ${WORKDIR}
+  OUTPUT_FILE ${LOG}
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  file(READ ${LOG} log_contents)
+  message(FATAL_ERROR
+    "smoke run failed (exit ${run_rc}): ${EXE}\n--- log ---\n${log_contents}")
+endif()
+
+execute_process(
+  COMMAND ${CHECKER} ${GOLDEN} ${LOG}
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+message(STATUS "${check_out}")
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "golden check failed:\n${check_err}")
+endif()

@@ -83,5 +83,12 @@ int main(int argc, char** argv) {
       m0.fuel(), m0.state().tig, m0.state().time);
   util::write_false_color("assim_member0.ppm", synth, 0.0, 60000.0);
   std::printf("wrote assim_data.ppm, assim_member0.ppm\n");
+
+  // Machine-readable summary for the golden-value smoke check: the
+  // post-analysis ensemble position error against the truth front, and the
+  // burned area of member 0.
+  std::printf("SMOKE front_position_rms_m=%.6f\n",
+              cycle.mean_position_error(truth_psi));
+  std::printf("SMOKE burned_area_ha=%.6f\n", m0.burned_area() / 1e4);
   return 0;
 }

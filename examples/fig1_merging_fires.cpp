@@ -73,5 +73,10 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("done: %d frames written\n", frame);
+
+  // Machine-readable summary for the golden-value smoke check.
+  const fire::FireModel& fm = model.fire_model();
+  std::printf("SMOKE burned_area_ha=%.6f\n", fm.burned_area() / 1e4);
+  std::printf("SMOKE front_length_m=%.6f\n", fm.front_length());
   return 0;
 }

@@ -47,5 +47,9 @@ int main(int argc, char** argv) {
   util::write_false_color("quickstart_heatflux.ppm", flux, 0.0,
                           util::max_value(flux));
   std::printf("wrote quickstart_heatflux.ppm\n");
+
+  // Machine-readable summary for the golden-value smoke check.
+  std::printf("SMOKE burned_area_ha=%.6f\n", model.burned_area() / 1e4);
+  std::printf("SMOKE front_length_m=%.6f\n", model.front_length());
   return 0;
 }

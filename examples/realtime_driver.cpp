@@ -61,5 +61,14 @@ int main(int argc, char** argv) {
   }
   std::printf("met %d/%zu deadlines at %.0fx real time\n", met,
               records.size(), ropt.speedup);
+
+  // Machine-readable summary for the golden-value smoke check (wall-clock
+  // deadline hits are machine-dependent, so only simulation results are
+  // checked).
+  if (!records.empty())
+    std::printf("SMOKE front_position_rms_m=%.6f\n",
+                records.back().position_error);
+  std::printf("SMOKE burned_area_ha=%.6f\n",
+              cycle.member(0).burned_area() / 1e4);
   return 0;
 }

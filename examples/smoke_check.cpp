@@ -1,0 +1,93 @@
+// Golden-value checker for the example smoke tests: the examples print
+// machine-readable "SMOKE key=value" summary lines (burned area, front
+// position RMS, ...), and this tool compares them against committed golden
+// values with per-key tolerances, so `ctest -L smoke` verifies results
+// rather than exit codes.
+//
+// Usage: smoke_check <golden_file> <log_file>
+//
+// Golden file lines:  key value rtol atol   ('#' starts a comment)
+// Pass when |got - want| <= max(atol, rtol * |want|) for every golden key.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: smoke_check <golden_file> <log_file>\n");
+    return 2;
+  }
+
+  std::ifstream golden(argv[1]);
+  if (!golden) {
+    std::fprintf(stderr, "smoke_check: cannot open golden file %s\n", argv[1]);
+    return 2;
+  }
+  std::ifstream log(argv[2]);
+  if (!log) {
+    std::fprintf(stderr, "smoke_check: cannot open log file %s\n", argv[2]);
+    return 2;
+  }
+
+  // Collect SMOKE lines from the run log.
+  std::map<std::string, double> got;
+  for (std::string line; std::getline(log, line);) {
+    const std::string prefix = "SMOKE ";
+    if (line.rfind(prefix, 0) != 0) continue;
+    const std::size_t eq = line.find('=', prefix.size());
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(prefix.size(), eq - prefix.size());
+    try {
+      got[key] = std::stod(line.substr(eq + 1));
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "smoke_check: unparsable SMOKE line: %s\n",
+                   line.c_str());
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  int checked = 0;
+  for (std::string line; std::getline(golden, line);) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream is(line);
+    std::string key;
+    double want, rtol, atol;
+    if (!(is >> key >> want >> rtol >> atol)) continue;  // blank/comment
+    ++checked;
+    const auto it = got.find(key);
+    if (it == got.end()) {
+      std::fprintf(stderr, "FAIL %s: no SMOKE line in log\n", key.c_str());
+      ++failures;
+      continue;
+    }
+    const double tol = std::max(atol, rtol * std::abs(want));
+    const double err = std::abs(it->second - want);
+    if (!(err <= tol) || !std::isfinite(it->second)) {
+      std::fprintf(stderr,
+                   "FAIL %s: got %.8g, want %.8g +- %.3g (|err| = %.3g)\n",
+                   key.c_str(), it->second, want, tol, err);
+      ++failures;
+    } else {
+      std::printf("ok   %s: %.8g (want %.8g +- %.3g)\n", key.c_str(),
+                  it->second, want, tol);
+    }
+  }
+
+  if (checked == 0) {
+    std::fprintf(stderr, "smoke_check: golden file %s has no entries\n",
+                 argv[1]);
+    return 2;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "smoke_check: %d/%d golden values out of tolerance\n",
+                 failures, checked);
+    return 1;
+  }
+  std::printf("smoke_check: %d golden values within tolerance\n", checked);
+  return 0;
+}

@@ -67,5 +67,10 @@ int main(int argc, char** argv) {
   util::write_false_color("scene_radiance.ppm", sc.radiance, 0.0,
                           util::max_value(sc.radiance));
   std::printf("wrote scene_brightness.pgm, scene_radiance.ppm\n");
+
+  // Machine-readable summary for the golden-value smoke check.
+  std::printf("SMOKE burned_area_ha=%.6f\n", model.burned_area() / 1e4);
+  std::printf("SMOKE front_length_m=%.6f\n", model.front_length());
+  std::printf("SMOKE peak_brightness_K=%.6f\n", util::max_value(sc.brightness));
   return 0;
 }

@@ -70,5 +70,9 @@ int main(int argc, char** argv) {
     std::printf("%10s %10s %10s %12.1f %12.1f   (after nudge)\n", "", "", "",
                 after.model_temperature, after.d_temperature);
   }
+
+  // Machine-readable summary for the golden-value smoke check.
+  std::printf("SMOKE burned_area_ha=%.6f\n", model.burned_area() / 1e4);
+  std::printf("SMOKE front_length_m=%.6f\n", model.front_length());
   return 0;
 }

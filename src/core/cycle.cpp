@@ -152,6 +152,7 @@ AnalysisResult AssimilationCycle::assimilate(const ObservationImage& obs) {
   std::vector<morphing::MorphMember> fields = gather_fields(morphing_filter);
 
   AnalysisResult result;
+  la::Workspace* ws = opt_.la_workspace ? opt_.la_workspace : &la_ws_;
   runner_.run_serial_phase("enkf", [&] {
     if (morphing_filter) {
       // The observed image goes through the same observable transform as
@@ -159,7 +160,7 @@ AnalysisResult AssimilationCycle::assimilate(const ObservationImage& obs) {
       const util::Array2D<double> data_field = obs::front_distance_field(
           obs.image, grid_, opt_.front_flux_threshold);
       const morphing::MorphingStats stats =
-          menkf_.analyze(fields, data_field, rng_);
+          menkf_.analyze(fields, data_field, rng_, ws);
       result.enkf = stats.enkf;
       result.mean_registration_residual = stats.mean_registration_residual;
       result.max_mapping_norm = stats.max_mapping_norm;
@@ -167,7 +168,7 @@ AnalysisResult AssimilationCycle::assimilate(const ObservationImage& obs) {
       // Paper Fig. 4(c): the standard EnKF compares raw images pixelwise.
       result.enkf = morphing::standard_enkf_on_fields(
           fields, obs.image, opt_.standard_sigma_obs, opt_.standard_inflation,
-          rng_);
+          rng_, ws);
     }
   });
 

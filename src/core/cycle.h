@@ -14,6 +14,7 @@
 
 #include "core/data_pool.h"
 #include "core/model_state.h"
+#include "la/workspace.h"
 #include "morphing/menkf.h"
 #include "par/ensemble_runner.h"
 
@@ -51,6 +52,10 @@ struct CycleOptions {
   bool file_exchange = false;
   std::string exchange_dir = "/tmp/wfire_exchange";
   int threads = 0;               // 0 = hardware concurrency
+  // Dense-LA scratch arena for the analysis. When null the cycle owns one,
+  // so a cycling driver is allocation-free in steady state either way; pass
+  // a pointer to share one arena across several cycles/filters.
+  la::Workspace* la_workspace = nullptr;
 };
 
 struct AnalysisResult {
@@ -110,6 +115,7 @@ class AssimilationCycle {
   std::vector<std::unique_ptr<fire::FireModel>> models_;
   std::vector<std::pair<double, double>> member_wind_;
   morphing::MorphingEnKF menkf_;
+  la::Workspace la_ws_;  // analysis scratch when opt_.la_workspace is null
 };
 
 }  // namespace wfire::core

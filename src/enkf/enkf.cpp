@@ -19,66 +19,66 @@ double rms(const la::Vector& v) {
   return std::sqrt(s / static_cast<double>(v.size()));
 }
 
-// Observation-space path: factor S = HA HA^T/(N-1) + R once, solve for all
-// innovation columns.
+// Observation-space path: S = HA HA^T/(N-1) + R via the symmetric rank-k
+// kernel (half the flops of a full gemm, no transpose-accessor walks),
+// blocked Cholesky of S, then one multi-RHS solve for all innovation
+// columns at once. Y is consumed in place.
 void analyze_obs_space(la::Matrix& X, const la::Matrix& A,
-                       const la::Matrix& HA, const la::Matrix& Y,
-                       const la::Vector& r_std) {
+                       const la::Matrix& HA, la::Matrix& Y,
+                       const la::Vector& r_std, la::Workspace& ws) {
   const int N = X.cols();
   const int m = HA.rows();
-  la::Matrix S(m, m, 0.0);
-  la::gemm(false, true, 1.0 / (N - 1), HA, HA, 0.0, S);
+  la::Matrix& S = ws.mat("obs.S", m, m);
+  la::syrk(false, 1.0 / (N - 1), HA, 0.0, S);
   for (int i = 0; i < m; ++i) S(i, i) += r_std[i] * r_std[i];
-  const la::CholeskyResult chol = la::cholesky(S);
-  const la::Matrix Z = la::cholesky_solve(chol.L, Y);          // m x N
-  const la::Matrix W = la::matmul(HA, Z, /*transA=*/true);     // N x N
-  la::gemm(false, false, 1.0 / (N - 1), A, W, 1.0, X);         // X += A W/(N-1)
+  la::Matrix& L = ws.mat("obs.L", m, m);
+  la::cholesky_factor(S, L);
+  la::cholesky_solve_in_place(L, Y);                    // Y <- S^{-1} Y
+  la::Matrix& W = ws.mat("obs.W", N, N);
+  la::gemm(true, false, 1.0, HA, Y, 0.0, W);            // W = HA^T S^{-1} Y
+  la::gemm(false, false, 1.0 / (N - 1), A, W, 1.0, X);  // X += A W/(N-1)
 }
 
 // Ensemble-space path: scale observations by R^{-1/2}, thin-SVD the scaled
 // anomalies B = R^{-1/2} HA / sqrt(N-1) = U Sigma V^T, and use
-// S~^{-1} y = U (Sigma^2+I)^{-1} U^T y + (y - U U^T y).
+// S~^{-1} y = U (Sigma^2+I)^{-1} U^T y + (y - U U^T y). The per-column hand
+// loops of the original are now three gemm calls over the whole block of
+// innovation columns.
 void analyze_ensemble_space(la::Matrix& X, const la::Matrix& A,
                             const la::Matrix& HA, const la::Matrix& Y,
-                            const la::Vector& r_std, double rcond) {
+                            const la::Vector& r_std, double rcond,
+                            la::Workspace& ws) {
   const int N = X.cols();
   const int m = HA.rows();
   const double inv_sqrtn1 = 1.0 / std::sqrt(static_cast<double>(N - 1));
-  la::Matrix B(m, N);
+  la::Matrix& B = ws.mat("ens.B", m, N);
   for (int k = 0; k < N; ++k)
     for (int i = 0; i < m; ++i)
       B(i, k) = HA(i, k) * inv_sqrtn1 / r_std[i];
-  const la::SvdResult s = la::svd(B);
+  const la::SvdResult s = la::svd(B);  // Jacobi SVD allocates internally
   const int r = static_cast<int>(s.sigma.size());
   const double cutoff = s.sigma.empty() ? 0.0 : rcond * s.sigma[0];
 
-  la::Matrix W(N, N, 0.0);  // columns: B^T Stilde^{-1} ytilde_k
-  la::Vector yt(static_cast<std::size_t>(m));
-  la::Vector p(static_cast<std::size_t>(r));
-  la::Vector sy(static_cast<std::size_t>(m));
-  for (int k = 0; k < N; ++k) {
-    for (int i = 0; i < m; ++i) yt[i] = Y(i, k) / r_std[i];
-    // p = U^T ytilde
-    for (int j = 0; j < r; ++j) {
-      double acc = 0;
-      for (int i = 0; i < m; ++i) acc += s.U(i, j) * yt[i];
-      p[j] = acc;
-    }
-    // Stilde^{-1} ytilde = ytilde + U ((1/(sigma^2+1) - 1) p)
-    sy = yt;
-    for (int j = 0; j < r; ++j) {
-      const double sig = s.sigma[j] <= cutoff ? 0.0 : s.sigma[j];
-      const double coef = (1.0 / (sig * sig + 1.0) - 1.0) * p[j];
-      for (int i = 0; i < m; ++i) sy[i] += s.U(i, j) * coef;
-    }
-    // w = B^T (Stilde^{-1} ytilde)
-    for (int c = 0; c < N; ++c) {
-      double acc = 0;
-      for (int i = 0; i < m; ++i) acc += B(i, c) * sy[i];
-      W(c, k) = acc;
-    }
+  la::Matrix& Yt = ws.mat("ens.Yt", m, N);  // R^{-1/2}-scaled innovations
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) Yt(i, k) = Y(i, k) / r_std[i];
+
+  // P = U^T Yt, then scale mode j by (1/(sigma_j^2+1) - 1) with truncated
+  // modes contributing nothing, then Yt += U P gives Stilde^{-1} ytilde.
+  la::Matrix& P = ws.mat("ens.P", r, N);
+  la::gemm(true, false, 1.0, s.U, Yt, 0.0, P);
+  la::Vector& coef = ws.vec("ens.coef", static_cast<std::size_t>(r));
+  for (int j = 0; j < r; ++j) {
+    const double sig = s.sigma[j] <= cutoff ? 0.0 : s.sigma[j];
+    coef[j] = 1.0 / (sig * sig + 1.0) - 1.0;
   }
-  la::gemm(false, false, inv_sqrtn1, A, W, 1.0, X);  // X += A W / sqrt(N-1)
+  for (int k = 0; k < N; ++k)
+    for (int j = 0; j < r; ++j) P(j, k) *= coef[j];
+  la::gemm(false, false, 1.0, s.U, P, 1.0, Yt);
+
+  la::Matrix& W = ws.mat("ens.W", N, N);                // W = B^T Stilde^{-1} Y~
+  la::gemm(true, false, 1.0, B, Yt, 0.0, W);
+  la::gemm(false, false, inv_sqrtn1, A, W, 1.0, X);     // X += A W / sqrt(N-1)
 }
 
 }  // namespace
@@ -101,23 +101,48 @@ EnKFStats enkf_analysis(la::Matrix& X, const la::Matrix& HX,
   stats.m = m;
   stats.N = N;
 
-  la::Matrix Xi = X;  // keep forecast for increment diagnostics
-  inflate(X, opt.inflation);
-  la::Matrix HXi = HX;
-  inflate(HXi, opt.inflation);
+  la::Workspace local_ws;
+  la::Workspace& ws = opt.workspace ? *opt.workspace : local_ws;
 
-  const la::Matrix A = anomalies(X);
-  const la::Matrix HA = anomalies(HXi);
+  // Forecast mean, for the increment diagnostic (inflation preserves it, so
+  // no copy of the full forecast ensemble is needed).
+  la::Vector& mf = ws.vec("mf", static_cast<std::size_t>(n));
+  ensemble_mean(X, mf);
+
+  inflate(X, opt.inflation);
+  const la::Matrix* HXi = &HX;
+  if (opt.inflation != 1.0) {
+    la::Matrix& HXw = ws.mat("HXi", m, N);
+    for (int k = 0; k < N; ++k) {
+      const auto src = HX.col(k);
+      auto dst = HXw.col(k);
+      for (int i = 0; i < m; ++i) dst[i] = src[i];
+    }
+    inflate(HXw, opt.inflation);
+    HXi = &HXw;
+  }
+
+  la::Vector& xm = ws.vec("xm", static_cast<std::size_t>(n));
+  ensemble_mean(X, xm);
+  la::Matrix& A = ws.mat("A", n, N);
+  anomalies(X, xm, A);
+
+  la::Vector& hxm = ws.vec("hxm", static_cast<std::size_t>(m));
+  ensemble_mean(*HXi, hxm);
+  la::Matrix& HA = ws.mat("HA", m, N);
+  anomalies(*HXi, hxm, HA);
 
   // Innovations with perturbed observations: Y(:,k) = d + e_k - HX(:,k).
-  la::Matrix Y(m, N);
-  for (int k = 0; k < N; ++k)
+  la::Matrix& Y = ws.mat("Y", m, N);
+  for (int k = 0; k < N; ++k) {
+    const auto src = HXi->col(k);
+    auto dst = Y.col(k);
     for (int i = 0; i < m; ++i)
-      Y(i, k) = d[i] + r_std[i] * rng.normal() - HXi(i, k);
+      dst[i] = d[i] + r_std[i] * rng.normal() - src[i];
+  }
 
   {
-    const la::Vector hxm = ensemble_mean(HXi);
-    la::Vector innov(d.size());
+    la::Vector& innov = ws.vec("innov", static_cast<std::size_t>(m));
     for (int i = 0; i < m; ++i) innov[i] = d[i] - hxm[i];
     stats.innovation_rms = rms(innov);
   }
@@ -128,16 +153,15 @@ EnKFStats enkf_analysis(la::Matrix& X, const la::Matrix& HX,
   stats.path_used = path;
 
   if (path == SolverPath::kObsSpace)
-    analyze_obs_space(X, A, HA, Y, r_std);
+    analyze_obs_space(X, A, HA, Y, r_std, ws);
   else
-    analyze_ensemble_space(X, A, HA, Y, r_std, opt.svd_rcond);
+    analyze_ensemble_space(X, A, HA, Y, r_std, opt.svd_rcond, ws);
 
   {
-    const la::Vector ma = ensemble_mean(X);
-    const la::Vector mf = ensemble_mean(Xi);
-    la::Vector inc(ma.size());
-    for (int i = 0; i < n; ++i) inc[i] = ma[i] - mf[i];
-    stats.increment_rms = rms(inc);
+    la::Vector& ma = ws.vec("ma", static_cast<std::size_t>(n));
+    ensemble_mean(X, ma);
+    for (int i = 0; i < n; ++i) ma[i] -= mf[i];
+    stats.increment_rms = rms(ma);
   }
   return stats;
 }
@@ -159,69 +183,118 @@ EnKFStats enkf_sequential(la::Matrix& X, la::Matrix& HX, const la::Vector& d,
   stats.N = N;
   stats.path_used = SolverPath::kObsSpace;
 
+  la::Workspace local_ws;
+  la::Workspace& ws = opt.workspace ? *opt.workspace : local_ws;
+
   inflate(X, opt.inflation);
   inflate(HX, opt.inflation);
 
   {
-    const la::Vector hxm = ensemble_mean(HX);
-    la::Vector innov(d.size());
+    la::Vector& hxm = ws.vec("seq.hxm", static_cast<std::size_t>(m));
+    ensemble_mean(HX, hxm);
+    la::Vector& innov = ws.vec("seq.innov", static_cast<std::size_t>(m));
     for (int i = 0; i < m; ++i) innov[i] = d[i] - hxm[i];
     stats.innovation_rms = rms(innov);
   }
-  const la::Vector mean_before = ensemble_mean(X);
+  la::Vector& mean_before = ws.vec("seq.mb", static_cast<std::size_t>(n));
+  ensemble_mean(X, mean_before);
 
-  la::Vector ha(static_cast<std::size_t>(N));
-  la::Vector px(static_cast<std::size_t>(n));
-  la::Vector ph(static_cast<std::size_t>(m));
+  // The sweep applies, per observation, a rank-1 update X += px alpha^T (and
+  // HX += ph alpha^T). Instead of streaming 2m rank-1 passes over the state,
+  // the gain columns and member coefficients are accumulated for a batch of
+  // observations and flushed as one blocked gemm. Observations later in a
+  // batch see the pending updates through the correction terms below, so the
+  // sweep stays algebraically sequential.
+  const int kBatch = std::min(m, 32);
+  la::Matrix& Px = ws.mat("seq.Px", n, kBatch);      // pending state gains
+  la::Matrix& Ph = ws.mat("seq.Ph", m, kBatch);      // pending obs gains
+  la::Matrix& AlphaT = ws.mat("seq.At", N, kBatch);  // member coefficients
+  la::Vector& ha = ws.vec("seq.ha", static_cast<std::size_t>(N));
+  la::Vector& hrow = ws.vec("seq.hrow", static_cast<std::size_t>(N));
+  la::Vector& px = ws.vec("seq.px", static_cast<std::size_t>(n));
+  la::Vector& ph = ws.vec("seq.ph", static_cast<std::size_t>(m));
+  int filled = 0;
+
+  const auto flush = [&]() {
+    if (filled == 0) return;
+    // Matrix::resize keeps leading columns intact, so a partial batch is a
+    // plain column-prefix view of the arena buffers.
+    Px.resize(n, filled);
+    Ph.resize(m, filled);
+    AlphaT.resize(N, filled);
+    la::gemm(false, true, 1.0, Px, AlphaT, 1.0, X);   // X  += Px Alpha
+    la::gemm(false, true, 1.0, Ph, AlphaT, 1.0, HX);  // HX += Ph Alpha
+    Px.resize(n, kBatch);
+    Ph.resize(m, kBatch);
+    AlphaT.resize(N, kBatch);
+    filled = 0;
+  };
+
+  const double invn1 = 1.0 / (N - 1);
   for (int o = 0; o < m; ++o) {
-    // Anomalies of the current obs coordinate.
+    // Effective row o of HX = stored row + pending batch updates.
+    for (int k = 0; k < N; ++k) hrow[k] = HX(o, k);
+    for (int b = 0; b < filled; ++b) {
+      const double pho = Ph(o, b);
+      if (pho == 0.0) continue;
+      const auto ab = AlphaT.col(b);
+      for (int k = 0; k < N; ++k) hrow[k] += pho * ab[k];
+    }
     double hm = 0;
-    for (int k = 0; k < N; ++k) hm += HX(o, k);
+    for (int k = 0; k < N; ++k) hm += hrow[k];
     hm /= N;
     double var = 0;
     for (int k = 0; k < N; ++k) {
-      ha[k] = HX(o, k) - hm;
+      ha[k] = hrow[k] - hm;
       var += ha[k] * ha[k];
     }
-    var /= (N - 1);
+    var *= invn1;
     const double denom = var + r_std[o] * r_std[o];
     if (denom <= 0) continue;
 
-    // Cross covariances state-obs and obs-obs.
-    const la::Vector xm = ensemble_mean(X);
-    const la::Vector hxm2 = ensemble_mean(HX);
-    std::fill(px.begin(), px.end(), 0.0);
-    std::fill(ph.begin(), ph.end(), 0.0);
-    for (int k = 0; k < N; ++k) {
-      const auto xc = X.col(k);
-      for (int i = 0; i < n; ++i) px[i] += (xc[i] - xm[i]) * ha[k];
-      const auto hc = HX.col(k);
-      for (int i = 0; i < m; ++i) ph[i] += (hc[i] - hxm2[i]) * ha[k];
+    // Cross covariances against the effective ensemble: the stored X/HX
+    // part via gemv (sum ha = 0 makes the mean term vanish), the pending
+    // part via the small inner products with the batched gain columns.
+    la::gemv(invn1, X, ha, 0.0, px);
+    la::gemv(invn1, HX, ha, 0.0, ph);
+    for (int b = 0; b < filled; ++b) {
+      const auto ab = AlphaT.col(b);
+      double w = 0;
+      for (int k = 0; k < N; ++k) w += ab[k] * ha[k];
+      w *= invn1;
+      if (w == 0.0) continue;
+      const auto pxb = Px.col(b);
+      for (int i = 0; i < n; ++i) px[i] += w * pxb[i];
+      const auto phb = Ph.col(b);
+      for (int i = 0; i < m; ++i) ph[i] += w * phb[i];
     }
-    const double invn1 = 1.0 / (N - 1);
-    for (double& v : px) v *= invn1;
-    for (double& v : ph) v *= invn1;
 
     if (opt.state_obs_taper)
-      for (int i = 0; i < n; ++i) px[i] *= opt.state_obs_taper(i, o, opt.taper_ctx);
+      for (int i = 0; i < n; ++i)
+        px[i] *= opt.state_obs_taper(i, o, opt.taper_ctx);
     if (opt.obs_obs_taper)
-      for (int i = 0; i < m; ++i) ph[i] *= opt.obs_obs_taper(i, o, opt.taper_ctx);
+      for (int i = 0; i < m; ++i)
+        ph[i] *= opt.obs_obs_taper(i, o, opt.taper_ctx);
 
-    // Update every member with its perturbed innovation.
-    for (int k = 0; k < N; ++k) {
-      const double innov = d[o] + r_std[o] * rng.normal() - HX(o, k);
-      const double alpha = innov / denom;
-      auto xc = X.col(k);
-      for (int i = 0; i < n; ++i) xc[i] += alpha * px[i];
-      auto hc = HX.col(k);
-      for (int i = 0; i < m; ++i) hc[i] += alpha * ph[i];
+    // Member coefficients from perturbed innovations (same draw order as
+    // the original per-member update loop).
+    {
+      auto ab = AlphaT.col(filled);
+      for (int k = 0; k < N; ++k)
+        ab[k] = (d[o] + r_std[o] * rng.normal() - hrow[k]) / denom;
+      auto pxb = Px.col(filled);
+      for (int i = 0; i < n; ++i) pxb[i] = px[i];
+      auto phb = Ph.col(filled);
+      for (int i = 0; i < m; ++i) phb[i] = ph[i];
     }
+    if (++filled == kBatch) flush();
   }
+  flush();
 
-  const la::Vector mean_after = ensemble_mean(X);
-  la::Vector inc(mean_after.size());
-  for (int i = 0; i < n; ++i) inc[i] = mean_after[i] - mean_before[i];
-  stats.increment_rms = rms(inc);
+  la::Vector& mean_after = ws.vec("seq.ma", static_cast<std::size_t>(n));
+  ensemble_mean(X, mean_after);
+  for (int i = 0; i < n; ++i) mean_after[i] -= mean_before[i];
+  stats.increment_rms = rms(mean_after);
   return stats;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "la/matrix.h"
+#include "la/workspace.h"
 #include "util/rng.h"
 
 namespace wfire::enkf {
@@ -27,6 +28,9 @@ struct EnKFOptions {
   double inflation = 1.0;        // multiplicative, applied pre-analysis
   SolverPath path = SolverPath::kAuto;
   double svd_rcond = 1e-10;      // pseudo-inverse cutoff (ensemble path)
+  // Scratch arena reused across calls; the analysis is allocation-free in
+  // steady state when one is supplied (a temporary arena is used otherwise).
+  la::Workspace* workspace = nullptr;
 };
 
 struct EnKFStats {
@@ -57,6 +61,7 @@ struct SequentialOptions {
   TaperFn state_obs_taper = nullptr;
   TaperFn obs_obs_taper = nullptr;
   const void* taper_ctx = nullptr;
+  la::Workspace* workspace = nullptr;  // as in EnKFOptions
 };
 
 EnKFStats enkf_sequential(la::Matrix& X, la::Matrix& HX, const la::Vector& d,

@@ -1,7 +1,10 @@
-// BLAS-like kernels on Vector/Matrix. gemm is blocked and OpenMP-parallel;
-// everything else is simple loops (the EnKF sizes are modest, clarity first).
+// BLAS-like kernels on Vector/Matrix. The matrix kernels (gemm, syrk, ger)
+// dispatch on la::backend(): the blocked path packs panels into contiguous
+// buffers and threads the tile loop with OpenMP; the reference path is the
+// original naive triple loop kept as ground truth (see la/backend.h).
 #pragma once
 
+#include "la/backend.h"
 #include "la/matrix.h"
 
 namespace wfire::la {
@@ -22,9 +25,16 @@ void gemv_t(double alpha, const Matrix& A, const Vector& x, double beta,
             Vector& y);
 
 // C = alpha * op(A) * op(B) + beta * C with op in {identity, transpose}.
-// Blocked over columns/rows, OpenMP across the outer block loop.
 void gemm(bool transA, bool transB, double alpha, const Matrix& A,
           const Matrix& B, double beta, Matrix& C);
+
+// Symmetric rank-k update: C = alpha * op(A) * op(A)^T + beta * C with C
+// m x m. Only one triangle is computed (half the flops of the equivalent
+// gemm) and mirrored, so when beta != 0 the incoming C must be symmetric.
+void syrk(bool transA, double alpha, const Matrix& A, double beta, Matrix& C);
+
+// Rank-1 update A += alpha * x * y^T  (A: m x n, x: m, y: n).
+void ger(double alpha, const Vector& x, const Vector& y, Matrix& A);
 
 // Convenience: returns op(A)*op(B).
 [[nodiscard]] Matrix matmul(const Matrix& A, const Matrix& B,

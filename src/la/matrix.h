@@ -55,6 +55,17 @@ class Matrix {
 
   void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
+  // Reshapes in place. Contents are unspecified afterwards; the backing
+  // vector keeps its capacity, so shrinking and re-growing never reallocates
+  // (the Workspace arena relies on this for allocation-free steady state).
+  void resize(int rows, int cols) {
+    if (rows < 0 || cols < 0)
+      throw std::invalid_argument("Matrix::resize: negative dims");
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows) * cols);
+  }
+
   [[nodiscard]] static Matrix identity(int n);
 
   // Matrix with iid N(0,1) entries (used by tests and EnKF perturbations).

@@ -1,0 +1,29 @@
+#include "la/workspace.h"
+
+namespace wfire::la {
+
+Matrix& Workspace::mat(const std::string& key, int rows, int cols) {
+  Matrix& m = mats_[key];
+  m.resize(rows, cols);
+  return m;
+}
+
+Vector& Workspace::vec(const std::string& key, std::size_t n) {
+  Vector& v = vecs_[key];
+  v.resize(n);
+  return v;
+}
+
+void Workspace::clear() {
+  mats_.clear();
+  vecs_.clear();
+}
+
+std::size_t Workspace::held_doubles() const {
+  std::size_t total = 0;
+  for (const auto& [k, m] : mats_) total += m.size();
+  for (const auto& [k, v] : vecs_) total += v.size();
+  return total;
+}
+
+}  // namespace wfire::la

@@ -1,0 +1,40 @@
+// Scratch-matrix arena for the analysis pipeline. The EnKF used to allocate
+// S, Z, W, anomaly and innovation matrices afresh on every analysis call;
+// at image-observation sizes that is tens of MB of churn per cycle. A
+// Workspace hands out named buffers that are reshaped (never shrunk in
+// capacity) on each request, so a cycling driver reaches an allocation-free
+// steady state after the first analysis.
+//
+// Buffers are identified by string key; contents are unspecified on return
+// (callers overwrite). A Workspace is not thread-safe — one per analysis
+// pipeline, used from its serial phase.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "la/matrix.h"
+
+namespace wfire::la {
+
+class Workspace {
+ public:
+  // Returns the buffer for `key`, reshaped to rows x cols. Contents are
+  // unspecified (previous values or garbage) — the caller must fill them.
+  Matrix& mat(const std::string& key, int rows, int cols);
+
+  // Returns the vector for `key`, resized to n. Contents unspecified.
+  Vector& vec(const std::string& key, std::size_t n);
+
+  // Drops all buffers (frees memory).
+  void clear();
+
+  // Total doubles currently held across all buffers (diagnostics/tests).
+  [[nodiscard]] std::size_t held_doubles() const;
+
+ private:
+  std::unordered_map<std::string, Matrix> mats_;
+  std::unordered_map<std::string, Vector> vecs_;
+};
+
+}  // namespace wfire::la

@@ -2,6 +2,7 @@
 
 #include "util/omp_compat.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -26,7 +27,8 @@ util::Array2D<double> field_mean(const std::vector<MorphMember>& members,
 
 MorphingStats MorphingEnKF::analyze(std::vector<MorphMember>& members,
                                     const util::Array2D<double>& data,
-                                    util::Rng& rng) {
+                                    util::Rng& rng, la::Workspace* ws) {
+  la::Workspace& arena = ws ? *ws : ws_;
   if (members.empty()) throw std::invalid_argument("MorphingEnKF: no members");
   const std::size_t nfields = members.front().fields.size();
   for (const auto& m : members)
@@ -75,8 +77,8 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(dynamic) reduction(+ : reg_res))
   const int m_obs = 3 * npix;
   const double w = opt_.t_weight;
 
-  la::Matrix X(n_state, N);
-  la::Matrix HX(m_obs, N);
+  la::Matrix& X = arena.mat("menkf.X", n_state, N);
+  la::Matrix& HX = arena.mat("menkf.HX", m_obs, N);
   for (int k = 0; k < N; ++k) {
     auto xc = X.col(k);
     std::size_t pos = 0;
@@ -92,8 +94,8 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(dynamic) reduction(+ : reg_res))
     for (const double v : T[k].ty) hc[pos++] = w * v;
   }
 
-  la::Vector d(static_cast<std::size_t>(m_obs));
-  la::Vector r_std(static_cast<std::size_t>(m_obs));
+  la::Vector& d = arena.vec("menkf.d", static_cast<std::size_t>(m_obs));
+  la::Vector& r_std = arena.vec("menkf.r", static_cast<std::size_t>(m_obs));
   {
     std::size_t pos = 0;
     for (const double v : rd) {
@@ -116,6 +118,7 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(dynamic) reduction(+ : reg_res))
   enkf::EnKFOptions eopt;
   eopt.inflation = opt_.inflation;
   eopt.path = opt_.path;
+  eopt.workspace = &arena;
   stats.enkf = enkf::enkf_analysis(X, HX, d, r_std, rng, eopt);
 
   // Decode members back to field form.
@@ -144,7 +147,7 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(dynamic))
 enkf::EnKFStats standard_enkf_on_fields(std::vector<MorphMember>& members,
                                         const util::Array2D<double>& data,
                                         double sigma_obs, double inflation,
-                                        util::Rng& rng) {
+                                        util::Rng& rng, la::Workspace* ws) {
   if (members.empty())
     throw std::invalid_argument("standard_enkf_on_fields: no members");
   const std::size_t nfields = members.front().fields.size();
@@ -152,8 +155,10 @@ enkf::EnKFStats standard_enkf_on_fields(std::vector<MorphMember>& members,
   const int npix = data.nx() * data.ny();
   const int n_state = static_cast<int>(nfields) * npix;
 
-  la::Matrix X(n_state, N);
-  la::Matrix HX(npix, N);
+  la::Workspace local_ws;
+  la::Workspace& arena = ws ? *ws : local_ws;
+  la::Matrix& X = arena.mat("std.X", n_state, N);
+  la::Matrix& HX = arena.mat("std.HX", npix, N);
   for (int k = 0; k < N; ++k) {
     auto xc = X.col(k);
     std::size_t pos = 0;
@@ -163,14 +168,16 @@ enkf::EnKFStats standard_enkf_on_fields(std::vector<MorphMember>& members,
     pos = 0;
     for (const double v : members[k].fields[0]) hc[pos++] = v;
   }
-  la::Vector d(static_cast<std::size_t>(npix));
-  la::Vector r_std(static_cast<std::size_t>(npix), sigma_obs);
+  la::Vector& d = arena.vec("std.d", static_cast<std::size_t>(npix));
+  la::Vector& r_std = arena.vec("std.r", static_cast<std::size_t>(npix));
   {
     std::size_t pos = 0;
     for (const double v : data) d[pos++] = v;
+    std::fill(r_std.begin(), r_std.end(), sigma_obs);
   }
   enkf::EnKFOptions opt;
   opt.inflation = inflation;
+  opt.workspace = &arena;
   const enkf::EnKFStats stats = enkf::enkf_analysis(X, HX, d, r_std, rng, opt);
 
   for (int k = 0; k < N; ++k) {

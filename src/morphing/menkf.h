@@ -52,23 +52,28 @@ class MorphingEnKF {
   // Analysis step, in place on `members`. `data` is the observed image
   // (same shape as fields[0]). The reference u0 is the ensemble mean of
   // each field (a common, self-consistent choice; the companion references
-  // use the same member weights).
+  // use the same member weights). The extended-state matrices and the inner
+  // EnKF scratch live in `ws` when given (else in a filter-owned arena), so
+  // repeated analyses allocate nothing once warm.
   MorphingStats analyze(std::vector<MorphMember>& members,
-                        const util::Array2D<double>& data, util::Rng& rng);
+                        const util::Array2D<double>& data, util::Rng& rng,
+                        la::Workspace* ws = nullptr);
 
   [[nodiscard]] const MorphingEnKFOptions& options() const { return opt_; }
 
  private:
   MorphingEnKFOptions opt_;
+  la::Workspace ws_;  // fallback arena when the caller does not supply one
 };
 
 // Standard-EnKF baseline on raw fields (what Fig. 4(c) does): stacks the
 // member fields directly into state vectors and assimilates the data image
 // pixelwise. Provided here so the Fig. 4 bench can compare both filters
-// through one interface.
+// through one interface. `ws` as in MorphingEnKF::analyze.
 enkf::EnKFStats standard_enkf_on_fields(std::vector<MorphMember>& members,
                                         const util::Array2D<double>& data,
                                         double sigma_obs, double inflation,
-                                        util::Rng& rng);
+                                        util::Rng& rng,
+                                        la::Workspace* ws = nullptr);
 
 }  // namespace wfire::morphing

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "enkf/diagnostics.h"
 #include "enkf/enkf.h"
@@ -11,7 +12,9 @@
 #include "enkf/etkf.h"
 #include "enkf/kalman.h"
 #include "enkf/localization.h"
+#include "la/backend.h"
 #include "la/blas.h"
+#include "la/workspace.h"
 
 using namespace wfire::enkf;
 using namespace wfire::la;
@@ -412,4 +415,107 @@ TEST(Diagnostics, CrpsRewardsSharpCalibratedEnsembles) {
   const Matrix sharp = gaussian_ensemble(truth, 0.5, 20, rng);
   const Matrix wide = gaussian_ensemble(truth, 3.0, 20, rng);
   EXPECT_LT(crps(sharp, truth), crps(wide, truth));
+}
+
+// --- LA backend cross-checks: the analysis must not depend on which kernel
+// backend runs it, and the two solver paths must agree on both backends. ---
+
+namespace {
+
+struct BackendProblem {
+  Matrix X0, HX;
+  Vector d, r_std;
+};
+
+BackendProblem backend_problem(int n, int m, int N, unsigned seed) {
+  Rng rng(seed);
+  BackendProblem p;
+  p.X0 = gaussian_ensemble(Vector(n, 1.0), 1.0, N, rng);
+  p.HX = Matrix(m, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) p.HX(i, k) = p.X0(i % n, k);
+  p.d = Vector(static_cast<std::size_t>(m), 2.0);
+  p.r_std = Vector(static_cast<std::size_t>(m), 0.5);
+  return p;
+}
+
+Matrix run_analysis(const BackendProblem& p, SolverPath path,
+                    wfire::la::Backend be, wfire::la::Workspace* ws = nullptr) {
+  wfire::la::ScopedBackend scope(be);
+  Matrix X = p.X0;
+  Rng rng(321);
+  EnKFOptions opt;
+  opt.path = path;
+  opt.workspace = ws;
+  enkf_analysis(X, p.HX, p.d, p.r_std, rng, opt);
+  return X;
+}
+
+}  // namespace
+
+TEST(EnKFBackend, AnalysisAgreesAcrossBackends) {
+  // Sizes straddle the blocked kernels' tile edge in both m and N.
+  for (const auto& [n, m, N] : {std::tuple{40, 8, 15}, std::tuple{130, 70, 20},
+                                std::tuple{65, 129, 10}}) {
+    const BackendProblem p = backend_problem(n, m, N, 77);
+    for (const SolverPath path :
+         {SolverPath::kObsSpace, SolverPath::kEnsembleSpace}) {
+      const Matrix Xb = run_analysis(p, path, wfire::la::Backend::kBlocked);
+      const Matrix Xr = run_analysis(p, path, wfire::la::Backend::kReference);
+      const double scale = std::max(frobenius_norm(Xr), 1.0);
+      EXPECT_LE(max_abs_diff(Xb, Xr) / scale, 1e-10)
+          << "n " << n << " m " << m << " N " << N;
+    }
+  }
+}
+
+TEST(EnKFBackend, SolverPathsAgreeOnBothBackends) {
+  const BackendProblem p = backend_problem(30, 12, 18, 5);
+  for (const auto be :
+       {wfire::la::Backend::kBlocked, wfire::la::Backend::kReference}) {
+    const Matrix X_obs = run_analysis(p, SolverPath::kObsSpace, be);
+    const Matrix X_ens = run_analysis(p, SolverPath::kEnsembleSpace, be);
+    EXPECT_LT(max_abs_diff(X_obs, X_ens), 1e-8);
+  }
+}
+
+TEST(EnKFBackend, WorkspaceReuseGivesIdenticalResults) {
+  // Same workspace across repeated analyses of different shapes: results
+  // must be bitwise identical to fresh-allocation runs.
+  wfire::la::Workspace ws;
+  const BackendProblem p1 = backend_problem(50, 10, 12, 31);
+  const BackendProblem p2 = backend_problem(24, 40, 8, 32);
+  // Warm the arena with the larger problem, then run the smaller one.
+  (void)run_analysis(p1, SolverPath::kObsSpace, wfire::la::Backend::kBlocked,
+                     &ws);
+  const Matrix with_ws = run_analysis(p2, SolverPath::kEnsembleSpace,
+                                      wfire::la::Backend::kBlocked, &ws);
+  const Matrix without =
+      run_analysis(p2, SolverPath::kEnsembleSpace, wfire::la::Backend::kBlocked);
+  EXPECT_EQ(max_abs_diff(with_ws, without), 0.0);
+}
+
+TEST(EnKFBackend, SequentialAgreesAcrossBackends) {
+  Rng rng(60);
+  const int n = 70, N = 15, m = 40;  // m > batch size exercises the flush
+  const Matrix X0 = gaussian_ensemble(Vector(n, 0.0), 1.0, N, rng);
+  Matrix HX0(m, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) HX0(i, k) = X0(i % n, k);
+  const Vector d(m, 1.0), r_std(m, 0.7);
+
+  Matrix Xb = X0, HXb = HX0, Xr = X0, HXr = HX0;
+  {
+    wfire::la::ScopedBackend be(wfire::la::Backend::kBlocked);
+    Rng r(9);
+    enkf_sequential(Xb, HXb, d, r_std, r);
+  }
+  {
+    wfire::la::ScopedBackend be(wfire::la::Backend::kReference);
+    Rng r(9);
+    enkf_sequential(Xr, HXr, d, r_std, r);
+  }
+  const double scale = std::max(frobenius_norm(Xr), 1.0);
+  EXPECT_LE(max_abs_diff(Xb, Xr) / scale, 1e-10);
+  EXPECT_LE(max_abs_diff(HXb, HXr) / scale, 1e-10);
 }

@@ -1,0 +1,315 @@
+// Backend property tests: the blocked, panel-packed kernels (gemm, syrk,
+// ger, Cholesky) must reproduce the naive reference implementation to tight
+// relative tolerance across shapes chosen to stress the tiling — degenerate
+// (1 x N, N x 1), odd, rectangular, and sizes straddling the block edge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "la/backend.h"
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/workspace.h"
+#include "util/rng.h"
+
+using namespace wfire::la;
+using wfire::util::Rng;
+
+namespace {
+
+// Relative max-abs error against the Frobenius scale of the reference.
+double rel_err(const Matrix& got, const Matrix& want) {
+  const double scale = std::max(frobenius_norm(want), 1.0);
+  return max_abs_diff(got, want) / scale;
+}
+
+Matrix random_spd(int n, Rng& rng) {
+  const Matrix A = Matrix::random_normal(n, n, rng);
+  Matrix S = matmul(A, A, false, true);
+  for (int i = 0; i < n; ++i) S(i, i) += n;  // well-conditioned
+  return S;
+}
+
+struct GemmShape {
+  int m, n, k;
+};
+
+// Degenerate, odd, rectangular, and block-edge-straddling shapes (blocked
+// kernels tile at block_size() = 64 by default; 63/64/65/129 cross every
+// tile boundary case).
+const std::vector<GemmShape> kShapes = {
+    {1, 1, 1},  {1, 7, 3},    {7, 1, 3},    {3, 5, 1},    {5, 4, 9},
+    {17, 3, 29}, {63, 65, 64}, {64, 64, 64}, {65, 63, 66}, {129, 67, 70},
+    {40, 200, 12}, {200, 40, 12}};
+
+}  // namespace
+
+TEST(Backend, EnvDefaultAndOverride) {
+  const Backend initial = backend();
+  {
+    ScopedBackend ref(Backend::kReference);
+    EXPECT_EQ(backend(), Backend::kReference);
+    {
+      ScopedBackend blk(Backend::kBlocked, 32);
+      EXPECT_EQ(backend(), Backend::kBlocked);
+      EXPECT_EQ(block_size(), 32);
+    }
+    EXPECT_EQ(backend(), Backend::kReference);
+  }
+  EXPECT_EQ(backend(), initial);
+  set_block_size(3);  // clamped to the minimum tile edge
+  EXPECT_EQ(block_size(), 8);
+  set_block_size(64);
+}
+
+TEST(BackendGemm, BlockedMatchesReferenceAcrossShapes) {
+  Rng rng(101);
+  for (const auto& [m, n, k] : kShapes) {
+    const Matrix A = Matrix::random_normal(m, k, rng);
+    const Matrix B = Matrix::random_normal(k, n, rng);
+    for (const double beta : {0.0, 1.0, -0.5}) {
+      Matrix C0 = Matrix::random_normal(m, n, rng);
+      Matrix C1 = C0;
+      {
+        ScopedBackend be(Backend::kReference);
+        gemm(false, false, 1.7, A, B, beta, C0);
+      }
+      {
+        ScopedBackend be(Backend::kBlocked);
+        gemm(false, false, 1.7, A, B, beta, C1);
+      }
+      EXPECT_LE(rel_err(C1, C0), 1e-10)
+          << "shape " << m << "x" << n << "x" << k << " beta " << beta;
+    }
+  }
+}
+
+TEST(BackendGemm, TransposeVariantsMatchReference) {
+  Rng rng(102);
+  for (const auto& [m, n, k] : kShapes) {
+    for (const bool tA : {false, true}) {
+      for (const bool tB : {false, true}) {
+        const Matrix A = tA ? Matrix::random_normal(k, m, rng)
+                            : Matrix::random_normal(m, k, rng);
+        const Matrix B = tB ? Matrix::random_normal(n, k, rng)
+                            : Matrix::random_normal(k, n, rng);
+        Matrix C0(m, n, 0.5), C1(m, n, 0.5);
+        {
+          ScopedBackend be(Backend::kReference);
+          gemm(tA, tB, -0.3, A, B, 1.0, C0);
+        }
+        {
+          ScopedBackend be(Backend::kBlocked);
+          gemm(tA, tB, -0.3, A, B, 1.0, C1);
+        }
+        EXPECT_LE(rel_err(C1, C0), 1e-10)
+            << "shape " << m << "x" << n << "x" << k << " tA " << tA << " tB "
+            << tB;
+      }
+    }
+  }
+}
+
+TEST(BackendGemm, SmallBlockSizeStillCorrect) {
+  // Force many partial tiles: block edge 8 against odd shapes.
+  Rng rng(103);
+  ScopedBackend be(Backend::kBlocked, 8);
+  const Matrix A = Matrix::random_normal(37, 23, rng);
+  const Matrix B = Matrix::random_normal(23, 41, rng);
+  Matrix C0(37, 41, 0.0), C1 = C0;
+  {
+    ScopedBackend ref(Backend::kReference);
+    gemm(false, false, 1.0, A, B, 0.0, C0);
+  }
+  gemm(false, false, 1.0, A, B, 0.0, C1);
+  EXPECT_LE(rel_err(C1, C0), 1e-10);
+}
+
+TEST(BackendSyrk, MatchesReferenceAndGemm) {
+  Rng rng(104);
+  for (const auto& [m, n, k] : kShapes) {
+    (void)n;
+    for (const bool tA : {false, true}) {
+      const Matrix A = tA ? Matrix::random_normal(k, m, rng)
+                          : Matrix::random_normal(m, k, rng);
+      Matrix C0(m, m, 0.0), C1(m, m, 0.0);
+      {
+        ScopedBackend be(Backend::kReference);
+        syrk(tA, 2.1, A, 0.0, C0);
+      }
+      {
+        ScopedBackend be(Backend::kBlocked);
+        syrk(tA, 2.1, A, 0.0, C1);
+      }
+      EXPECT_LE(rel_err(C1, C0), 1e-10)
+          << "m " << m << " k " << k << " tA " << tA;
+      // And both equal the gemm formulation.
+      Matrix G(m, m, 0.0);
+      gemm(tA, !tA, 2.1, A, A, 0.0, G);
+      EXPECT_LE(rel_err(C1, G), 1e-10);
+      // Exact symmetry (mirrored, not recomputed).
+      for (int j = 0; j < m; ++j)
+        for (int i = 0; i < j; ++i) EXPECT_EQ(C1(i, j), C1(j, i));
+    }
+  }
+}
+
+TEST(BackendSyrk, AccumulatesIntoSymmetricC) {
+  Rng rng(105);
+  const int m = 67, k = 21;
+  const Matrix A = Matrix::random_normal(m, k, rng);
+  Matrix C = random_spd(m, rng);  // symmetric start, as the contract requires
+  Matrix C0 = C, C1 = C;
+  {
+    ScopedBackend be(Backend::kReference);
+    syrk(false, 1.0, A, 0.5, C0);
+  }
+  {
+    ScopedBackend be(Backend::kBlocked);
+    syrk(false, 1.0, A, 0.5, C1);
+  }
+  EXPECT_LE(rel_err(C1, C0), 1e-10);
+}
+
+TEST(BackendGer, MatchesReference) {
+  Rng rng(106);
+  for (const int m : {1, 5, 63, 130}) {
+    for (const int n : {1, 4, 65}) {
+      Vector x(static_cast<std::size_t>(m)), y(static_cast<std::size_t>(n));
+      for (auto& v : x) v = rng.normal();
+      for (auto& v : y) v = rng.normal();
+      Matrix A0 = Matrix::random_normal(m, n, rng);
+      Matrix A1 = A0;
+      {
+        ScopedBackend be(Backend::kReference);
+        ger(1.3, x, y, A0);
+      }
+      {
+        ScopedBackend be(Backend::kBlocked);
+        ger(1.3, x, y, A1);
+      }
+      EXPECT_LE(rel_err(A1, A0), 1e-10) << "m " << m << " n " << n;
+    }
+  }
+}
+
+class BackendCholeskyParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendCholeskyParam, BlockedFactorMatchesReference) {
+  const int n = GetParam();
+  Rng rng(200 + n);
+  const Matrix S = random_spd(n, rng);
+  Matrix L_ref, L_blk;
+  int jit_ref = 0, jit_blk = 0;
+  {
+    ScopedBackend be(Backend::kReference);
+    jit_ref = cholesky_factor(S, L_ref);
+  }
+  {
+    ScopedBackend be(Backend::kBlocked);
+    jit_blk = cholesky_factor(S, L_blk);
+  }
+  EXPECT_EQ(jit_ref, 0);
+  EXPECT_EQ(jit_blk, 0);
+  EXPECT_LE(rel_err(L_blk, L_ref), 1e-10) << "n " << n;
+  // Both reconstruct A.
+  const Matrix R = matmul(L_blk, L_blk, false, true);
+  EXPECT_LE(rel_err(R, S), 1e-10);
+  // Strict upper triangle is exactly zero.
+  for (int j = 1; j < n; ++j)
+    for (int i = 0; i < j; ++i) EXPECT_EQ(L_blk(i, j), 0.0);
+}
+
+// 1 and 2 degenerate, 63/64/65/129 straddle the default block edge.
+INSTANTIATE_TEST_SUITE_P(Sizes, BackendCholeskyParam,
+                         ::testing::Values(1, 2, 7, 63, 64, 65, 129, 200));
+
+TEST(BackendCholesky, JitterAgreesAcrossBackends) {
+  // Rank-1 matrix: positive semidefinite, needs the same diagonal boosts on
+  // both paths.
+  Matrix S(5, 5);
+  for (int j = 0; j < 5; ++j)
+    for (int i = 0; i < 5; ++i) S(i, j) = (i + 1.0) * (j + 1.0);
+  Matrix L_ref, L_blk;
+  int jr, jb;
+  {
+    ScopedBackend be(Backend::kReference);
+    jr = cholesky_factor(S, L_ref);
+  }
+  {
+    ScopedBackend be(Backend::kBlocked);
+    jb = cholesky_factor(S, L_blk);
+  }
+  EXPECT_GT(jr, 0);
+  EXPECT_EQ(jr, jb);
+}
+
+TEST(BackendCholesky, MultiRhsSolveMatchesScalarSolve) {
+  Rng rng(301);
+  for (const int n : {1, 5, 63, 130}) {
+    for (const int nrhs : {1, 3, 25}) {
+      const Matrix S = random_spd(n, rng);
+      const CholeskyResult f = cholesky(S);
+      const Matrix B = Matrix::random_normal(n, nrhs, rng);
+      Matrix X = B;
+      cholesky_solve_in_place(f.L, X);
+      for (int c = 0; c < nrhs; ++c) {
+        Vector b(B.col(c).begin(), B.col(c).end());
+        cholesky_solve(f.L, b);
+        for (int i = 0; i < n; ++i)
+          EXPECT_NEAR(X(i, c), b[i], 1e-10 * std::max(1.0, std::abs(b[i])))
+              << "n " << n << " rhs " << c;
+      }
+    }
+  }
+}
+
+TEST(Workspace, ReusesBuffersAcrossReshapes) {
+  Workspace ws;
+  Matrix& a = ws.mat("a", 100, 50);
+  const double* data0 = a.data();
+  a.fill(1.0);
+  // Shrink then regrow within capacity: same allocation.
+  Matrix& a2 = ws.mat("a", 10, 5);
+  EXPECT_EQ(&a, &a2);
+  EXPECT_EQ(a2.data(), data0);
+  Matrix& a3 = ws.mat("a", 50, 100);
+  EXPECT_EQ(a3.data(), data0);
+  EXPECT_EQ(a3.rows(), 50);
+  EXPECT_EQ(a3.cols(), 100);
+
+  Vector& v = ws.vec("v", 1000);
+  const double* vd = v.data();
+  Vector& v2 = ws.vec("v", 10);
+  EXPECT_EQ(v2.data(), vd);
+
+  EXPECT_EQ(ws.held_doubles(), 50u * 100u + 10u);
+  ws.clear();
+  EXPECT_EQ(ws.held_doubles(), 0u);
+}
+
+TEST(Workspace, DistinctKeysDistinctBuffers) {
+  Workspace ws;
+  Matrix& a = ws.mat("a", 4, 4);
+  Matrix& b = ws.mat("b", 4, 4);
+  EXPECT_NE(a.data(), b.data());
+  a.fill(1.0);
+  b.fill(2.0);
+  EXPECT_DOUBLE_EQ(ws.mat("a", 4, 4)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ws.mat("b", 4, 4)(0, 0), 2.0);
+}
+
+TEST(MatrixResize, KeepsColumnPrefix) {
+  // The sequential-EnKF batch flush relies on resize preserving the leading
+  // columns of a column-major matrix.
+  Matrix A(3, 4);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 3; ++i) A(i, j) = 10.0 * j + i;
+  A.resize(3, 2);
+  EXPECT_DOUBLE_EQ(A(2, 1), 12.0);
+  A.resize(3, 4);
+  EXPECT_DOUBLE_EQ(A(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(A(2, 1), 12.0);
+}
