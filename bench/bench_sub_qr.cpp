@@ -1,0 +1,124 @@
+// Substrate benchmark: the blocked Householder QR kernels that carry the
+// EnKF ensemble-space square-root analysis. Three questions, matching how
+// the factorization is used in src/enkf/enkf.cpp:
+//  - blocked vs reference factorization cost across the shapes the filter
+//    produces (tall-skinny stacked [B; I] at image scale, wider panels from
+//    the registration least-squares fits);
+//  - blocked vs reference apply-Q^T cost for multi-RHS least squares;
+//  - the headline replacement: QR of [B; I] vs the one-sided Jacobi SVD of
+//    B it displaced (the PR 3 serial bottleneck) at m = 10000, N = 25.
+#include <benchmark/benchmark.h>
+
+#include "backend_args.h"
+#include "la/backend.h"
+#include "la/blas.h"
+#include "la/qr.h"
+#include "la/svd.h"
+#include "la/workspace.h"
+#include "util/rng.h"
+
+using namespace wfire::la;
+using wfire::bench::arg_backend;
+using wfire::bench::backend_name;
+
+namespace {
+
+struct QrShape {
+  int m, n;
+  const char* tag;
+};
+
+// 10025 x 25: the stacked [B; I] of an image-scale ensemble analysis
+// (m = 10000 pixels, N = 25 members). 2000 x 64 and 400 x 200 exercise the
+// multi-panel compact-WY path and the trailing-update gemms.
+const QrShape kShapes[] = {
+    {10025, 25, "stacked-ens"}, {2000, 64, "tall"}, {400, 200, "blocky"}};
+
+}  // namespace
+
+static void BM_QrFactor(benchmark::State& state) {
+  const QrShape shape = kShapes[state.range(0)];
+  const std::int64_t be = state.range(1);
+  wfire::util::Rng rng(11);
+  const Matrix base = Matrix::random_normal(shape.m, shape.n, rng);
+  ScopedBackend scope(arg_backend(be));
+  Workspace ws;
+  Matrix A = base;
+  Vector beta;
+  for (auto _ : state) {
+    A = base;  // the factorization is in place; restore per iteration
+    qr_factor_in_place(A, beta, &ws);
+    benchmark::DoNotOptimize(A.data());
+  }
+  state.SetLabel(std::string(shape.tag) + "/" + backend_name(be));
+  state.counters["m"] = shape.m;
+  state.counters["n"] = shape.n;
+}
+BENCHMARK(BM_QrFactor)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1});
+
+static void BM_QrApplyQt(benchmark::State& state) {
+  // Multi-RHS apply-Q^T (the least-squares workhorse): 2000 x 64 factor
+  // against 25 right-hand sides.
+  const std::int64_t be = state.range(0);
+  wfire::util::Rng rng(13);
+  const int m = 2000, n = 64, nrhs = 25;
+  Matrix A = Matrix::random_normal(m, n, rng);
+  const Matrix B = Matrix::random_normal(m, nrhs, rng);
+  ScopedBackend scope(arg_backend(be));
+  Workspace ws;
+  Vector beta;
+  qr_factor_in_place(A, beta, &ws);
+  Matrix C = B;
+  for (auto _ : state) {
+    C = B;
+    apply_qt_in_place(A, beta, C, &ws);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetLabel(backend_name(be));
+}
+BENCHMARK(BM_QrApplyQt)->Unit(benchmark::kMillisecond)->Arg(0)->Arg(1);
+
+static void BM_QrVsSvd_EnsembleFactor(benchmark::State& state) {
+  // The factorization swap in isolation: what the ensemble-space analysis
+  // pays per cycle to factor its N x N square-root system. arg 0: 0 = QR of
+  // the stacked (m+N) x N matrix (blocked backend), 1 = Jacobi SVD of the
+  // m x N matrix (backend-independent, allocates internally).
+  const bool use_svd = state.range(0) != 0;
+  const int m = 10000, N = 25;
+  wfire::util::Rng rng(17);
+  const Matrix B = Matrix::random_normal(m, N, rng);
+  Workspace ws;
+  Matrix M(m + N, N);
+  Vector beta;
+  for (auto _ : state) {
+    if (use_svd) {
+      const SvdResult s = svd(B);
+      benchmark::DoNotOptimize(s.sigma.data());
+    } else {
+      for (int k = 0; k < N; ++k) {
+        const auto src = B.col(k);
+        auto dst = M.col(k);
+        for (int i = 0; i < m; ++i) dst[i] = src[i];
+        for (int i = 0; i < N; ++i) dst[m + i] = i == k ? 1.0 : 0.0;
+      }
+      qr_factor_in_place(M, beta, &ws);
+      benchmark::DoNotOptimize(M.data());
+    }
+  }
+  state.SetLabel(use_svd ? "svd" : "qr");
+  state.counters["m"] = m;
+  state.counters["N"] = N;
+}
+BENCHMARK(BM_QrVsSvd_EnsembleFactor)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1);
+
+BENCHMARK_MAIN();

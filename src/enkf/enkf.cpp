@@ -1,16 +1,32 @@
 #include "enkf/enkf.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "enkf/ensemble.h"
 #include "la/blas.h"
 #include "la/cholesky.h"
+#include "la/qr.h"
 #include "la/svd.h"
 
 namespace wfire::enkf {
 
 namespace {
+
+Factorization factorization_from_env() {
+  const char* s = std::getenv("WFIRE_ENKF_FACTORIZATION");
+  if (!s || std::strcmp(s, "qr") == 0) return Factorization::kQr;
+  if (std::strcmp(s, "svd") == 0) return Factorization::kSvd;
+  // A typo here would silently invalidate qr-vs-svd comparisons — say so.
+  std::fprintf(stderr,
+               "wfire: unrecognized WFIRE_ENKF_FACTORIZATION='%s' "
+               "(expected 'qr' or 'svd'); using qr\n",
+               s);
+  return Factorization::kQr;
+}
 
 double rms(const la::Vector& v) {
   if (v.empty()) return 0.0;
@@ -39,29 +55,95 @@ void analyze_obs_space(la::Matrix& X, const la::Matrix& A,
   la::gemm(false, false, 1.0 / (N - 1), A, W, 1.0, X);  // X += A W/(N-1)
 }
 
-// Ensemble-space path: scale observations by R^{-1/2}, thin-SVD the scaled
-// anomalies B = R^{-1/2} HA / sqrt(N-1) = U Sigma V^T, and use
-// S~^{-1} y = U (Sigma^2+I)^{-1} U^T y + (y - U U^T y). The per-column hand
-// loops of the original are now three gemm calls over the whole block of
-// innovation columns.
-void analyze_ensemble_space(la::Matrix& X, const la::Matrix& A,
-                            const la::Matrix& HA, const la::Matrix& Y,
-                            const la::Vector& r_std, double rcond,
-                            la::Workspace& ws) {
+// Ensemble-space analysis, shared head: B = R^{-1/2} HA / sqrt(N-1) and the
+// R^{-1/2}-scaled innovations, both in arena buffers.
+void scale_ensemble_system(const la::Matrix& HA, const la::Matrix& Y,
+                           const la::Vector& r_std, double inv_sqrtn1,
+                           la::Matrix& B, la::Matrix& Yt) {
+  const int m = HA.rows();
+  const int N = HA.cols();
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) B(i, k) = HA(i, k) * inv_sqrtn1 / r_std[i];
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) Yt(i, k) = Y(i, k) / r_std[i];
+}
+
+// QR square-root factorization (the default): with Stilde = I + B B^T, the
+// Sherman-Morrison-Woodbury identity gives the analysis coefficients as the
+// solution of a system in the *smaller* of the two dimensions:
+//
+//   m >= N:  W = B^T Stilde^{-1} Ytilde = (I + B^T B)^{-1} B^T Ytilde,
+//   m <  N:  W = B^T (I + B B^T)^{-1} Ytilde directly.
+//
+// Instead of forming B^T B / B B^T (which would square the condition
+// number), the blocked Householder QR of the stacked matrix [B; I_N]
+// (resp. [B^T; I_m]) yields an upper-triangular Rs with
+// Rs^T Rs = I + B^T B (resp. I + B B^T), so W follows from gemm and two
+// small triangular solves. Since Rs^T Rs >= I, every |Rs_ii| >= 1: the
+// solves cannot hit a small pivot even for rank-deficient ensembles (where
+// the svd path relies on its rcond cutoff). Everything runs through the
+// dual-backend kernels (qr_factor_in_place, gemm) on arena buffers — no
+// internal allocation in steady state, unlike the Jacobi SVD it replaces.
+void analyze_ensemble_space_qr(la::Matrix& X, const la::Matrix& A,
+                               const la::Matrix& HA, const la::Matrix& Y,
+                               const la::Vector& r_std, la::Workspace& ws) {
   const int N = X.cols();
   const int m = HA.rows();
   const double inv_sqrtn1 = 1.0 / std::sqrt(static_cast<double>(N - 1));
   la::Matrix& B = ws.mat("ens.B", m, N);
-  for (int k = 0; k < N; ++k)
-    for (int i = 0; i < m; ++i)
-      B(i, k) = HA(i, k) * inv_sqrtn1 / r_std[i];
+  la::Matrix& Yt = ws.mat("ens.Yt", m, N);
+  scale_ensemble_system(HA, Y, r_std, inv_sqrtn1, B, Yt);
+
+  const int r = std::min(m, N);  // factored system dimension
+  la::Matrix& M = ws.mat("ens.M", m + N, r);
+  if (m >= N) {  // stacked [B; I_N], Rs^T Rs = I + B^T B
+    for (int k = 0; k < N; ++k) {
+      const auto src = B.col(k);
+      auto dst = M.col(k);
+      for (int i = 0; i < m; ++i) dst[i] = src[i];
+      for (int i = 0; i < N; ++i) dst[m + i] = i == k ? 1.0 : 0.0;
+    }
+  } else {  // stacked [B^T; I_m], Rs^T Rs = I + B B^T
+    for (int k = 0; k < m; ++k) {
+      auto dst = M.col(k);
+      for (int i = 0; i < N; ++i) dst[i] = B(k, i);
+      for (int i = 0; i < m; ++i) dst[N + i] = i == k ? 1.0 : 0.0;
+    }
+  }
+  la::Vector& beta = ws.vec("ens.beta", static_cast<std::size_t>(r));
+  la::qr_factor_in_place(M, beta, &ws);
+
+  la::Matrix& W = ws.mat("ens.W", N, N);
+  if (m >= N) {
+    la::gemm(true, false, 1.0, B, Yt, 0.0, W);  // W = B^T Ytilde
+    la::rt_solve_in_place(M, W);                // W <- Rs^-T W
+    la::r_solve_in_place(M, W);                 // W <- Rs^-1 W = (I+B^T B)^-1 B^T Yt
+  } else {
+    la::rt_solve_in_place(M, Yt);               // Yt <- Rs^-T Yt
+    la::r_solve_in_place(M, Yt);                // Yt <- Stilde^-1 Ytilde
+    la::gemm(true, false, 1.0, B, Yt, 0.0, W);  // W = B^T Stilde^-1 Yt
+  }
+  la::gemm(false, false, inv_sqrtn1, A, W, 1.0, X);  // X += A W / sqrt(N-1)
+}
+
+// SVD factorization (the property-tested reference): thin-SVD the scaled
+// anomalies B = U Sigma V^T, and use
+// S~^{-1} y = U (Sigma^2+I)^{-1} U^T y + (y - U U^T y). The per-column hand
+// loops of the original are now three gemm calls over the whole block of
+// innovation columns.
+void analyze_ensemble_space_svd(la::Matrix& X, const la::Matrix& A,
+                                const la::Matrix& HA, const la::Matrix& Y,
+                                const la::Vector& r_std, double rcond,
+                                la::Workspace& ws) {
+  const int N = X.cols();
+  const int m = HA.rows();
+  const double inv_sqrtn1 = 1.0 / std::sqrt(static_cast<double>(N - 1));
+  la::Matrix& B = ws.mat("ens.B", m, N);
+  la::Matrix& Yt = ws.mat("ens.Yt", m, N);
+  scale_ensemble_system(HA, Y, r_std, inv_sqrtn1, B, Yt);
   const la::SvdResult s = la::svd(B);  // Jacobi SVD allocates internally
   const int r = static_cast<int>(s.sigma.size());
   const double cutoff = s.sigma.empty() ? 0.0 : rcond * s.sigma[0];
-
-  la::Matrix& Yt = ws.mat("ens.Yt", m, N);  // R^{-1/2}-scaled innovations
-  for (int k = 0; k < N; ++k)
-    for (int i = 0; i < m; ++i) Yt(i, k) = Y(i, k) / r_std[i];
 
   // P = U^T Yt, then scale mode j by (1/(sigma_j^2+1) - 1) with truncated
   // modes contributing nothing, then Yt += U P gives Stilde^{-1} ytilde.
@@ -82,6 +164,11 @@ void analyze_ensemble_space(la::Matrix& X, const la::Matrix& A,
 }
 
 }  // namespace
+
+Factorization default_factorization() {
+  static const Factorization f = factorization_from_env();
+  return f;
+}
 
 EnKFStats enkf_analysis(la::Matrix& X, const la::Matrix& HX,
                         const la::Vector& d, const la::Vector& r_std,
@@ -152,10 +239,18 @@ EnKFStats enkf_analysis(la::Matrix& X, const la::Matrix& HX,
     path = (m <= 2 * N) ? SolverPath::kObsSpace : SolverPath::kEnsembleSpace;
   stats.path_used = path;
 
-  if (path == SolverPath::kObsSpace)
+  if (path == SolverPath::kObsSpace) {
     analyze_obs_space(X, A, HA, Y, r_std, ws);
-  else
-    analyze_ensemble_space(X, A, HA, Y, r_std, opt.svd_rcond, ws);
+  } else {
+    const Factorization fact = opt.factorization == Factorization::kDefault
+                                   ? default_factorization()
+                                   : opt.factorization;
+    stats.factorization_used = fact;
+    if (fact == Factorization::kSvd)
+      analyze_ensemble_space_svd(X, A, HA, Y, r_std, opt.svd_rcond, ws);
+    else
+      analyze_ensemble_space_qr(X, A, HA, Y, r_std, ws);
+  }
 
   {
     la::Vector& ma = ws.vec("ma", static_cast<std::size_t>(n));

@@ -10,8 +10,14 @@
 // equivalent solver paths are provided:
 //  - observation space: Cholesky of the m x m matrix S (best when m is
 //    small, e.g. weather stations);
-//  - ensemble space: thin SVD of R^{-1/2} HA / sqrt(N-1), cost O(m N^2)
-//    (best when m >> N, e.g. infrared image observations).
+//  - ensemble space: an N x N square-root system derived from
+//    B = R^{-1/2} HA / sqrt(N-1), cost O(m N^2) (best when m >> N, e.g.
+//    infrared image observations). Two factorizations of that system are
+//    kept: the default QR square-root form (one blocked Householder QR of
+//    the stacked (m+N) x N matrix [B; I], then two N x N triangular
+//    solves — never forms B^T B, so no condition-number squaring) and the
+//    original thin Jacobi SVD of B, retained as the property-tested
+//    reference (WFIRE_ENKF_FACTORIZATION=qr|svd, or Factorization below).
 #pragma once
 
 #include <string>
@@ -24,10 +30,18 @@ namespace wfire::enkf {
 
 enum class SolverPath { kAuto, kObsSpace, kEnsembleSpace };
 
+// Factorization of the ensemble-space system. kDefault resolves to the
+// process-wide default (env WFIRE_ENKF_FACTORIZATION=qr|svd, qr when unset).
+enum class Factorization { kDefault, kQr, kSvd };
+
+// The process-wide default read from the environment at first use.
+[[nodiscard]] Factorization default_factorization();
+
 struct EnKFOptions {
   double inflation = 1.0;        // multiplicative, applied pre-analysis
   SolverPath path = SolverPath::kAuto;
-  double svd_rcond = 1e-10;      // pseudo-inverse cutoff (ensemble path)
+  Factorization factorization = Factorization::kDefault;  // ensemble path
+  double svd_rcond = 1e-10;      // pseudo-inverse cutoff (svd factorization)
   // Scratch arena reused across calls; the analysis is allocation-free in
   // steady state when one is supplied (a temporary arena is used otherwise).
   la::Workspace* workspace = nullptr;
@@ -35,6 +49,9 @@ struct EnKFOptions {
 
 struct EnKFStats {
   SolverPath path_used = SolverPath::kObsSpace;
+  // Resolved factorization when the ensemble-space path ran (kDefault when
+  // the observation-space path was taken instead).
+  Factorization factorization_used = Factorization::kDefault;
   int n = 0, m = 0, N = 0;
   double innovation_rms = 0;  // RMS of d - H(mean) before analysis
   double increment_rms = 0;   // RMS change of the ensemble mean

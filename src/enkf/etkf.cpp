@@ -28,18 +28,25 @@ EnKFStats etkf_analysis(la::Matrix& X, const la::Matrix& HX,
   stats.N = N;
   stats.path_used = SolverPath::kEnsembleSpace;
 
+  la::Workspace local_ws;
+  la::Workspace& ws = opt.workspace ? *opt.workspace : local_ws;
+
   inflate(X, opt.inflation);
-  la::Matrix HXi = HX;
+  la::Matrix& HXi = ws.mat("etkf.HX", m, N);
+  HXi = HX;  // vector copy-assign reuses capacity: allocation-free when warm
   inflate(HXi, opt.inflation);
 
-  const la::Vector xbar = ensemble_mean(X);
-  const la::Vector hbar = ensemble_mean(HXi);
-  const la::Matrix A = anomalies(X);
+  la::Vector& xbar = ws.vec("etkf.xbar", static_cast<std::size_t>(n));
+  ensemble_mean(X, xbar);
+  la::Vector& hbar = ws.vec("etkf.hbar", static_cast<std::size_t>(m));
+  ensemble_mean(HXi, hbar);
+  la::Matrix& A = ws.mat("etkf.A", n, N);
+  anomalies(X, xbar, A);
   const double inv_sqrtn1 = 1.0 / std::sqrt(static_cast<double>(N - 1));
 
   // S = R^{-1/2} HA / sqrt(N-1) and the scaled innovation.
-  la::Matrix S(m, N);
-  la::Vector ytilde(static_cast<std::size_t>(m));
+  la::Matrix& S = ws.mat("etkf.S", m, N);
+  la::Vector& ytilde = ws.vec("etkf.yt", static_cast<std::size_t>(m));
   for (int i = 0; i < m; ++i) ytilde[i] = (d[i] - hbar[i]) / r_std[i];
   for (int k = 0; k < N; ++k)
     for (int i = 0; i < m; ++i)
@@ -50,30 +57,41 @@ EnKFStats etkf_analysis(la::Matrix& X, const la::Matrix& HX,
     stats.innovation_rms = std::sqrt(s / std::max(m, 1));
   }
 
-  // Ptilde = (I + S^T S)^{-1} via the symmetric eigendecomposition.
-  la::Matrix StS = la::matmul(S, S, /*transA=*/true, /*transB=*/false);
+  // Ptilde = (I + S^T S)^{-1} via the symmetric eigendecomposition of the
+  // N x N system, built with the rank-k kernel (half the flops of the gemm
+  // it replaces — the only O(m N^2) work in this filter). The square-root
+  // transform needs the *symmetric* square root of Ptilde, so the N x N
+  // factorization stays an eigendecomposition rather than a QR (see
+  // enkf.cpp for the QR square-root of the stochastic filter).
+  la::Matrix& StS = ws.mat("etkf.StS", N, N);
+  la::syrk(/*transA=*/true, 1.0, S, 0.0, StS);
   for (int i = 0; i < N; ++i) StS(i, i) += 1.0;
   const la::EigenSymResult eig = la::eigen_sym(StS);
 
   // wbar = Ptilde S^T ytilde / sqrt(N-1).
-  la::Vector Sty(static_cast<std::size_t>(N), 0.0);
+  la::Vector& Sty = ws.vec("etkf.Sty", static_cast<std::size_t>(N));
   la::gemv_t(1.0, S, ytilde, 0.0, Sty);
   // Apply Ptilde = V diag(1/lambda) V^T.
-  la::Vector tmp(static_cast<std::size_t>(N), 0.0);
+  la::Vector& tmp = ws.vec("etkf.tmp", static_cast<std::size_t>(N));
   la::gemv_t(1.0, eig.vectors, Sty, 0.0, tmp);
   for (int i = 0; i < N; ++i) tmp[i] /= eig.values[i];
-  la::Vector wbar(static_cast<std::size_t>(N), 0.0);
+  la::Vector& wbar = ws.vec("etkf.wbar", static_cast<std::size_t>(N));
   la::gemv(inv_sqrtn1, eig.vectors, tmp, 0.0, wbar);
 
-  // W = sqrtm(Ptilde) = V diag(lambda^{-1/2}) V^T.
-  const la::Matrix W = la::matrix_function(
-      eig, [](double x) { return 1.0 / std::sqrt(x); }, 1e-12);
+  // W = sqrtm(Ptilde) = V diag(lambda^{-1/2}) V^T, built in arena buffers
+  // (V scaled by f(lambda) columnwise, then one small gemm).
+  la::Matrix& scaled = ws.mat("etkf.Vs", N, N);
+  for (int j = 0; j < N; ++j) {
+    const double fl = 1.0 / std::sqrt(std::max(eig.values[j], 1e-12));
+    for (int i = 0; i < N; ++i) scaled(i, j) = eig.vectors(i, j) * fl;
+  }
+  la::Matrix& coeffs = ws.mat("etkf.W", N, N);
+  la::gemm(false, true, 1.0, scaled, eig.vectors, 0.0, coeffs);
 
   // Xa = xbar 1^T + A (wbar 1^T + W).
-  la::Matrix coeffs = W;  // N x N
   for (int k = 0; k < N; ++k)
     for (int i = 0; i < N; ++i) coeffs(i, k) += wbar[i];
-  la::Matrix Xa(n, N, 0.0);
+  la::Matrix& Xa = ws.mat("etkf.Xa", n, N);
   la::gemm(false, false, 1.0, A, coeffs, 0.0, Xa);
   for (int k = 0; k < N; ++k) {
     auto col = Xa.col(k);
@@ -81,12 +99,13 @@ EnKFStats etkf_analysis(la::Matrix& X, const la::Matrix& HX,
   }
 
   {
-    const la::Vector ma = ensemble_mean(Xa);
+    la::Vector& ma = ws.vec("etkf.ma", static_cast<std::size_t>(n));
+    ensemble_mean(Xa, ma);
     double s = 0;
     for (int i = 0; i < n; ++i) s += (ma[i] - xbar[i]) * (ma[i] - xbar[i]);
     stats.increment_rms = std::sqrt(s / std::max(n, 1));
   }
-  X = std::move(Xa);
+  X = Xa;
   return stats;
 }
 

@@ -20,6 +20,11 @@ namespace wfire::enkf {
 
 struct EtkfOptions {
   double inflation = 1.0;  // multiplicative, pre-analysis
+  // Scratch arena for the m-sized temporaries (inflated HX, scaled
+  // anomalies, analysis ensemble); repeated analyses are allocation-free in
+  // steady state apart from the N x N eigendecomposition, which is
+  // negligible at ensemble sizes. A temporary arena is used when null.
+  la::Workspace* workspace = nullptr;
 };
 
 // Deterministic analysis, in place on X. Arguments as enkf_analysis, minus

@@ -1,28 +1,38 @@
 #include "la/qr.h"
 
+#include "la/blas.h"
+#include "util/omp_compat.h"
+
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace wfire::la {
 
-QrFactor qr_factor(const Matrix& A) {
-  const int m = A.rows();
-  const int n = A.cols();
-  if (m < n) throw std::invalid_argument("qr_factor: requires m >= n");
-  QrFactor f{A, Vector(static_cast<std::size_t>(n), 0.0)};
-  Matrix& R = f.qr;
+namespace {
+
+// Panel width of the compact-WY blocked path. Wider panels amortize the
+// trailing gemm better but grow the O(rows * pb^2) T-factor build; 48 keeps
+// that under a few percent of the update flops at EnKF shapes.
+int panel_width(int n) { return std::min({block_size(), 48, n}); }
+
+// --- reference path: the original serial column-by-column factorization ---
+
+void qr_factor_reference(Matrix& R, Vector& beta) {
+  const int m = R.rows();
+  const int n = R.cols();
   for (int j = 0; j < n; ++j) {
     // Build the Householder reflector for column j.
     double norm = 0;
     for (int i = j; i < m; ++i) norm += R(i, j) * R(i, j);
     norm = std::sqrt(norm);
     if (norm == 0.0) {
-      f.beta[j] = 0.0;
+      beta[j] = 0.0;
       continue;
     }
     const double alpha = R(j, j) >= 0 ? -norm : norm;
     const double v0 = R(j, j) - alpha;
-    f.beta[j] = -v0 / alpha;  // 2 / (v^T v) with v scaled so v[j] = 1
+    beta[j] = -v0 / alpha;  // 2 / (v^T v) with v scaled so v[j] = 1
     const double inv_v0 = 1.0 / v0;
     for (int i = j + 1; i < m; ++i) R(i, j) *= inv_v0;
     R(j, j) = alpha;
@@ -30,11 +40,216 @@ QrFactor qr_factor(const Matrix& A) {
     for (int k = j + 1; k < n; ++k) {
       double s = R(j, k);
       for (int i = j + 1; i < m; ++i) s += R(i, j) * R(i, k);
-      s *= f.beta[j];
+      s *= beta[j];
       R(j, k) -= s;
       for (int i = j + 1; i < m; ++i) R(i, k) -= s * R(i, j);
     }
   }
+}
+
+// --- blocked path: compact-WY panels, trailing update through gemm ---
+
+// Factors panel columns [j0, j0 + jb) in place, applying each reflector to
+// the remaining *panel* columns only (the trailing matrix is updated once
+// per panel via the WY form). The per-reflector application is threaded
+// across panel columns when the panel is tall enough to pay for it.
+void panel_factor(Matrix& A, Vector& beta, int j0, int jb) {
+  const int m = A.rows();
+  const int last = j0 + jb;
+  for (int j = j0; j < last; ++j) {
+    double norm = 0;
+    for (int i = j; i < m; ++i) norm += A(i, j) * A(i, j);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      beta[j] = 0.0;
+      continue;
+    }
+    const double alpha = A(j, j) >= 0 ? -norm : norm;
+    const double v0 = A(j, j) - alpha;
+    beta[j] = -v0 / alpha;
+    const double inv_v0 = 1.0 / v0;
+    for (int i = j + 1; i < m; ++i) A(i, j) *= inv_v0;
+    A(j, j) = alpha;
+    const double bj = beta[j];
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) \
+                 if (static_cast<long>(m - j) * (last - j - 1) > 16384))
+    for (int k = j + 1; k < last; ++k) {
+      double s = A(j, k);
+      for (int i = j + 1; i < m; ++i) s += A(i, j) * A(i, k);
+      s *= bj;
+      A(j, k) -= s;
+      for (int i = j + 1; i < m; ++i) A(i, k) -= s * A(i, j);
+    }
+  }
+}
+
+// Unpacks the reflectors of panel [j0, j0 + jb) into explicit V
+// ((m - j0) x jb, unit diagonal, zeros above) and builds the upper-
+// triangular T of the compact-WY form H_{j0} ... H_{j0+jb-1} = I - V T V^T.
+void build_wy(const Matrix& A, const Vector& beta, int j0, int jb, Matrix& V,
+              Matrix& T) {
+  const int m = A.rows();
+  const int rows = m - j0;
+  V.resize(rows, jb);
+  T.resize(jb, jb);
+  for (int jj = 0; jj < jb; ++jj) {
+    const int j = j0 + jj;
+    auto v = V.col(jj);
+    for (int i = 0; i < jj; ++i) v[i] = 0.0;
+    v[jj] = 1.0;
+    for (int i = jj + 1; i < rows; ++i) v[i] = A(j0 + i, j);
+  }
+  // T(0:jj, jj) = -beta_jj * T(0:jj, 0:jj) * (V(:, 0:jj)^T v_jj). The whole
+  // column is zeroed first: T may live in a reused arena buffer whose
+  // previous shape leaves garbage below the diagonal, and the WY gemms read
+  // the full matrix.
+  for (int jj = 0; jj < jb; ++jj) {
+    const double b = beta[j0 + jj];
+    for (int i = 0; i < jb; ++i) T(i, jj) = 0.0;
+    T(jj, jj) = b;
+    if (b == 0.0) continue;
+    const auto vj = V.col(jj);
+    for (int p = 0; p < jj; ++p) {
+      const auto vp = V.col(p);
+      double s = 0;
+      // v_p has zeros above its own diagonal; v_jj above jj — the product
+      // only needs rows >= jj.
+      for (int i = jj; i < rows; ++i) s += vp[i] * vj[i];
+      T(p, jj) = s;
+    }
+    // In-place triangular multiply T(0:jj, jj) <- -b * T_prev * t: ascending
+    // rows, since row i only reads the still-raw dots at positions >= i.
+    for (int i = 0; i < jj; ++i) {
+      double s = 0;
+      for (int p = i; p < jj; ++p) s += T(i, p) * T(p, jj);
+      T(i, jj) = -b * s;
+    }
+  }
+}
+
+// C(j0:m, cols) <- (I - V op(T) V^T) C(j0:m, cols), with C staged through
+// workspace buffers so the three products run through the dispatched gemm.
+// trans_t selects between Q (T) and Q^T (T^T) of the panel.
+void apply_wy_panel(const Matrix& V, const Matrix& T, bool trans_t, Matrix& C,
+                    int j0, Workspace& ws) {
+  const int m = C.rows();
+  const int nc = C.cols();
+  const int rows = m - j0;
+  const int jb = V.cols();
+  Matrix& Csub = ws.mat("qr.Csub", rows, nc);
+  for (int k = 0; k < nc; ++k) {
+    const auto src = C.col(k);
+    auto dst = Csub.col(k);
+    for (int i = 0; i < rows; ++i) dst[i] = src[j0 + i];
+  }
+  Matrix& W = ws.mat("qr.W", jb, nc);
+  gemm(true, false, 1.0, V, Csub, 0.0, W);       // W  = V^T C
+  Matrix& W2 = ws.mat("qr.W2", jb, nc);
+  gemm(trans_t, false, 1.0, T, W, 0.0, W2);      // W2 = op(T) W
+  gemm(false, false, -1.0, V, W2, 1.0, Csub);    // C -= V W2
+  for (int k = 0; k < nc; ++k) {
+    const auto src = Csub.col(k);
+    auto dst = C.col(k);
+    for (int i = 0; i < rows; ++i) dst[j0 + i] = src[i];
+  }
+}
+
+void qr_factor_blocked(Matrix& A, Vector& beta, Workspace& ws) {
+  const int m = A.rows();
+  const int n = A.cols();
+  const int pb = panel_width(n);
+  for (int j0 = 0; j0 < n; j0 += pb) {
+    const int jb = std::min(pb, n - j0);
+    panel_factor(A, beta, j0, jb);
+    if (j0 + jb >= n) break;
+    Matrix& V = ws.mat("qr.V", m - j0, jb);
+    Matrix& T = ws.mat("qr.T", jb, jb);
+    build_wy(A, beta, j0, jb, V, T);
+    // Trailing columns as a contiguous block for the WY gemms.
+    const int nc = n - j0 - jb;
+    Matrix& Ct = ws.mat("qr.Ct", m, nc);
+    for (int k = 0; k < nc; ++k) {
+      const auto src = A.col(j0 + jb + k);
+      auto dst = Ct.col(k);
+      for (int i = 0; i < m; ++i) dst[i] = src[i];
+    }
+    apply_wy_panel(V, T, /*trans_t=*/true, Ct, j0, ws);
+    for (int k = 0; k < nc; ++k) {
+      const auto src = Ct.col(k);
+      auto dst = A.col(j0 + jb + k);
+      for (int i = j0; i < m; ++i) dst[i] = src[i];
+    }
+  }
+}
+
+// Reference application of a single reflector j to every column of C.
+void apply_reflector_reference(const Matrix& qr, const Vector& beta, int j,
+                               Matrix& C) {
+  const int m = qr.rows();
+  if (beta[j] == 0.0) return;
+  for (int k = 0; k < C.cols(); ++k) {
+    auto c = C.col(k);
+    double s = c[j];
+    for (int i = j + 1; i < m; ++i) s += qr(i, j) * c[i];
+    s *= beta[j];
+    c[j] -= s;
+    for (int i = j + 1; i < m; ++i) c[i] -= s * qr(i, j);
+  }
+}
+
+void apply_q_or_qt(const Matrix& qr, const Vector& beta, Matrix& C,
+                   bool transpose, Workspace* ws) {
+  const int m = qr.rows();
+  const int n = qr.cols();
+  if (C.rows() != m)
+    throw std::invalid_argument("apply_q: row mismatch");
+  if (static_cast<int>(beta.size()) != n)
+    throw std::invalid_argument("apply_q: beta size mismatch");
+  if (C.cols() == 0 || n == 0) return;
+  if (backend() == Backend::kReference) {
+    // Q^T = H_{n-1} ... H_0 applied left to right; Q right to left.
+    if (transpose)
+      for (int j = 0; j < n; ++j) apply_reflector_reference(qr, beta, j, C);
+    else
+      for (int j = n - 1; j >= 0; --j)
+        apply_reflector_reference(qr, beta, j, C);
+    return;
+  }
+  Workspace local;
+  Workspace& arena = ws ? *ws : local;
+  const int pb = panel_width(n);
+  const int npanels = (n + pb - 1) / pb;
+  for (int p = 0; p < npanels; ++p) {
+    // Q^T consumes panels left to right (with T^T), Q right to left (with T).
+    const int j0 = (transpose ? p : npanels - 1 - p) * pb;
+    const int jb = std::min(pb, n - j0);
+    Matrix& V = arena.mat("qr.V", m - j0, jb);
+    Matrix& T = arena.mat("qr.T", jb, jb);
+    build_wy(qr, beta, j0, jb, V, T);
+    apply_wy_panel(V, T, /*trans_t=*/transpose, C, j0, arena);
+  }
+}
+
+}  // namespace
+
+void qr_factor_in_place(Matrix& A, Vector& beta, Workspace* ws) {
+  const int m = A.rows();
+  const int n = A.cols();
+  if (m < n) throw std::invalid_argument("qr_factor: requires m >= n");
+  beta.resize(static_cast<std::size_t>(n));
+  std::fill(beta.begin(), beta.end(), 0.0);
+  if (n == 0) return;
+  if (backend() == Backend::kReference) {
+    qr_factor_reference(A, beta);
+    return;
+  }
+  Workspace local;
+  qr_factor_blocked(A, beta, ws ? *ws : local);
+}
+
+QrFactor qr_factor(const Matrix& A) {
+  QrFactor f{A, Vector()};
+  qr_factor_in_place(f.qr, f.beta);
   return f;
 }
 
@@ -50,6 +265,58 @@ void apply_qt(const QrFactor& f, Vector& v) {
     s *= f.beta[j];
     v[j] -= s;
     for (int i = j + 1; i < m; ++i) v[i] -= s * f.qr(i, j);
+  }
+}
+
+void apply_qt_in_place(const Matrix& qr, const Vector& beta, Matrix& C,
+                       Workspace* ws) {
+  apply_q_or_qt(qr, beta, C, /*transpose=*/true, ws);
+}
+
+void apply_q_in_place(const Matrix& qr, const Vector& beta, Matrix& C,
+                      Workspace* ws) {
+  apply_q_or_qt(qr, beta, C, /*transpose=*/false, ws);
+}
+
+void r_solve_in_place(const Matrix& qr, Matrix& B) {
+  const int n = qr.cols();
+  if (qr.rows() < n || B.rows() != n)
+    throw std::invalid_argument("r_solve: size mismatch");
+  for (int i = 0; i < n; ++i)
+    if (qr(i, i) == 0.0)
+      throw std::runtime_error("r_solve: rank-deficient system");
+  const int nrhs = B.cols();
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (nrhs > 1))
+  for (int c = 0; c < nrhs; ++c) {
+    auto b = B.col(c);
+    for (int i = n - 1; i >= 0; --i) {
+      double s = b[i];
+      for (int p = i + 1; p < n; ++p) s -= qr(i, p) * b[p];
+      b[i] = s / qr(i, i);
+    }
+  }
+}
+
+void rt_solve_in_place(const Matrix& qr, Matrix& B) {
+  const int n = qr.cols();
+  if (qr.rows() < n || B.rows() != n)
+    throw std::invalid_argument("rt_solve: size mismatch");
+  for (int i = 0; i < n; ++i)
+    if (qr(i, i) == 0.0)
+      throw std::runtime_error("rt_solve: rank-deficient system");
+  const int nrhs = B.cols();
+  const double* Rd = qr.data();
+  const std::size_t ld = static_cast<std::size_t>(qr.rows());
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (nrhs > 1))
+  for (int c = 0; c < nrhs; ++c) {
+    auto b = B.col(c);
+    // Column i of R above the diagonal is row i of R^T: contiguous walks.
+    for (int i = 0; i < n; ++i) {
+      const double* ri = Rd + static_cast<std::size_t>(i) * ld;
+      double s = b[i];
+      for (int p = 0; p < i; ++p) s -= ri[p] * b[p];
+      b[i] = s / ri[i];
+    }
   }
 }
 
@@ -74,22 +341,20 @@ Vector least_squares(const Matrix& A, const Vector& b) {
 Matrix least_squares(const Matrix& A, const Matrix& B) {
   if (B.rows() != A.rows())
     throw std::invalid_argument("least_squares: size mismatch");
-  const QrFactor f = qr_factor(A);
+  Workspace ws;
+  Matrix QR = A;
+  Vector beta;
+  qr_factor_in_place(QR, beta, &ws);
+  Matrix Y = B;
+  apply_qt_in_place(QR, beta, Y, &ws);
   const int n = A.cols();
   Matrix X(n, B.cols());
-  Vector y(static_cast<std::size_t>(A.rows()));
   for (int j = 0; j < B.cols(); ++j) {
-    const auto src = B.col(j);
-    y.assign(src.begin(), src.end());
-    apply_qt(f, y);
-    for (int i = n - 1; i >= 0; --i) {
-      if (f.qr(i, i) == 0.0)
-        throw std::runtime_error("least_squares: rank-deficient system");
-      double s = y[i];
-      for (int k = i + 1; k < n; ++k) s -= f.qr(i, k) * X(k, j);
-      X(i, j) = s / f.qr(i, i);
-    }
+    const auto src = Y.col(j);
+    auto dst = X.col(j);
+    for (int i = 0; i < n; ++i) dst[i] = src[i];
   }
+  r_solve_in_place(QR, X);
   return X;
 }
 

@@ -1,10 +1,24 @@
-// Householder QR with least-squares solve. The EnKF replaces the ensemble by
+// Householder QR with least-squares solve and the square-root kernels of the
+// QR-based EnKF ensemble-space analysis. The EnKF replaces the ensemble by
 // linear combinations "with the coefficients obtained by solving a least
 // squares problem" (paper Sec. 3.3); this is that solver, also used by the
 // registration smoothness fits and tested against the normal equations.
+//
+// The factorization dispatches on la::backend() (see la/backend.h):
+//  - blocked: compact-WY panel QR — each panel is factored unblocked (with
+//    the reflector application across panel columns OpenMP-threaded when
+//    tall), then the trailing matrix is updated with three gemm calls
+//    through the blocked kernel backend;
+//  - reference: the original serial column-by-column loop, kept as the
+//    ground truth the blocked path is property-tested against.
+// Scratch for the blocked path is drawn from a caller-supplied la::Workspace
+// (keys "qr.*") so repeated factorizations are allocation-free in steady
+// state; a local arena is used when none is given.
 #pragma once
 
+#include "la/backend.h"
 #include "la/matrix.h"
+#include "la/workspace.h"
 
 namespace wfire::la {
 
@@ -14,8 +28,34 @@ struct QrFactor {
   Vector beta;  // Householder scalars
 };
 
+// Factors A (m x n, m >= n) in place: R on/above the diagonal, Householder
+// vectors (scaled so v[j] = 1) below it, scalars in `beta` (resized to n).
+// Throws on m < n.
+void qr_factor_in_place(Matrix& A, Vector& beta, Workspace* ws = nullptr);
+
 // Factors A (m x n, m >= n). Throws on m < n.
 [[nodiscard]] QrFactor qr_factor(const Matrix& A);
+
+// Applies Q^T to a vector (in place, size m) given the factor.
+void apply_qt(const QrFactor& f, Vector& v);
+
+// Applies Q^T to every column of C (in place, C has m rows) given the
+// packed factor + scalars. Blocked backend: compact-WY panels and gemm;
+// reference backend: one reflector at a time.
+void apply_qt_in_place(const Matrix& qr, const Vector& beta, Matrix& C,
+                       Workspace* ws = nullptr);
+
+// Applies Q (not Q^T) to every column of C (in place), reflectors in
+// reverse order. Same backend split as apply_qt_in_place.
+void apply_q_in_place(const Matrix& qr, const Vector& beta, Matrix& C,
+                      Workspace* ws = nullptr);
+
+// Triangular solves with the n x n upper-triangular R stored in the top of
+// the packed factor `qr` (n = qr.cols()); B has n rows and is overwritten
+// column by column (OpenMP-parallel across right-hand sides). Throws
+// std::runtime_error on a zero diagonal (rank-deficient R).
+void r_solve_in_place(const Matrix& qr, Matrix& B);   // R X = B
+void rt_solve_in_place(const Matrix& qr, Matrix& B);  // R^T X = B
 
 // Minimizes ||A x - b||_2; returns x (size n). Rank deficiency is reported
 // via std::runtime_error (zero diagonal in R).
@@ -23,9 +63,6 @@ struct QrFactor {
 
 // Multi-RHS variant: returns X with columns solving each column of B.
 [[nodiscard]] Matrix least_squares(const Matrix& A, const Matrix& B);
-
-// Applies Q^T to a vector (in place, size m) given the factor.
-void apply_qt(const QrFactor& f, Vector& v);
 
 // Extracts the economy Q (m x n) by applying Householder reflectors to the
 // first n columns of the identity.

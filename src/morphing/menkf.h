@@ -30,6 +30,10 @@ struct MorphingEnKFOptions {
   double t_weight = 1.0;      // relative weight of T vs r in the state
   double inflation = 1.0;
   enkf::SolverPath path = enkf::SolverPath::kAuto;
+  // Factorization of the inner ensemble-space analysis (image observations
+  // put the morphing filter squarely in the m >> N regime); kDefault follows
+  // WFIRE_ENKF_FACTORIZATION.
+  enkf::Factorization factorization = enkf::Factorization::kDefault;
 };
 
 // One ensemble member in field form: fields[0] is the registration /

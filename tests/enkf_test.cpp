@@ -519,3 +519,77 @@ TEST(EnKFBackend, SequentialAgreesAcrossBackends) {
   EXPECT_LE(max_abs_diff(Xb, Xr) / scale, 1e-10);
   EXPECT_LE(max_abs_diff(HXb, HXr) / scale, 1e-10);
 }
+
+namespace {
+
+// Committed golden mean increment for the Fig. 2 image-regime ensemble-space
+// analysis below (n = 60, m = 400, N = 12, seeds 4242/321), produced by the
+// SVD factorization on the reference backend when the QR square-root path
+// landed. Pins the full analysis end to end — anomalies, innovation draws,
+// factorization, solve, update — not just the kernels; any combination of
+// backend x factorization must reproduce it.
+constexpr double kGoldenIncrementRms = 0.26916308926474586;
+constexpr double kGoldenIncrement[60] = {
+    -0.083778640138027133, 0.51818798228387564, -0.084693832259294249,
+    0.35294993143109965, 0.21211254123030815, 0.27337071531650614,
+    -0.088855648431599099, -0.47334425859603863, -0.2139760313357093,
+    -0.20776751723687353, -0.44985496896572086, 0.34543700576721464,
+    -0.13725696108357396, -0.11517730155282502, 0.46605989997990638,
+    -0.11358204001075206, -0.15676392407740802, 0.46478937699563605,
+    -0.011982505471240246, 0.099314776228547855, 0.20678895060299701,
+    0.16795638166332794, -0.18208142512350189, 0.22613863784123528,
+    0.0075753796717322741, 0.50480831136033788, 0.12469666741210053,
+    0.015527664511309575, 0.016335864518790655, 0.20606613469128804,
+    0.30223446882182242, 0.44051752839306124, -0.2363670628342775,
+    0.26760818174314027, -0.22078918171557227, -0.033723108799013635,
+    0.09927023598644158, 0.25919875717244029, -0.21151489213594254,
+    -0.032814510764777566, -0.26941245319384588, -0.47574519194360659,
+    -0.10494086147823764, 0.27620090042487377, 0.075860858580130697,
+    0.26161354444811646, 0.023652169330544523, 0.66038429013037803,
+    -0.24250374828559901, 0.55841078686088785, -0.44063859750625389,
+    -0.043363917705992475, 0.062718645690130317, -0.073205305204638971,
+    -0.064787026811078507, 0.036765374095607761, 0.24489093355507419,
+    0.24571379571433472, -0.10307580362092778, 0.025047083554149391};
+
+}  // namespace
+
+TEST(EnKFGolden, EnsembleSpaceIncrementMatchesCommittedVector) {
+  const int n = 60, m = 400, N = 12;
+  Rng gen(4242);
+  Matrix X0(n, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < n; ++i) X0(i, k) = gen.normal();
+  Matrix HX(m, N);
+  for (int k = 0; k < N; ++k)
+    for (int i = 0; i < m; ++i) HX(i, k) = X0(i % n, k) + 0.1 * gen.normal();
+  Vector d(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) d[i] = 1.0 + 0.5 * std::sin(0.05 * i);
+  const Vector r_std(static_cast<std::size_t>(m), 0.5);
+  const Vector mb = ensemble_mean(X0);
+
+  // rtol with a small atol floor: near-zero components of the increment
+  // carry rounding noise from the factorization differences.
+  const double rtol = 1e-6, atol = 1e-9;
+  for (const Backend be : {Backend::kReference, Backend::kBlocked}) {
+    for (const Factorization fact : {Factorization::kSvd, Factorization::kQr}) {
+      ScopedBackend scope(be);
+      Matrix X = X0;
+      Rng rng(321);
+      EnKFOptions opt;
+      opt.path = SolverPath::kEnsembleSpace;
+      opt.factorization = fact;
+      const EnKFStats s = enkf_analysis(X, HX, d, r_std, rng, opt);
+      EXPECT_EQ(s.factorization_used, fact);
+      EXPECT_NEAR(s.increment_rms, kGoldenIncrementRms,
+                  rtol * kGoldenIncrementRms);
+      const Vector ma = ensemble_mean(X);
+      for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(ma[i] - mb[i], kGoldenIncrement[i],
+                    rtol * std::abs(kGoldenIncrement[i]) + atol)
+            << "component " << i << " backend "
+            << (be == Backend::kBlocked ? "blocked" : "reference")
+            << " factorization "
+            << (fact == Factorization::kQr ? "qr" : "svd");
+    }
+  }
+}

@@ -1,0 +1,434 @@
+// Randomized property-test harness for the dual-backend dense LA layer and
+// the EnKF analysis factorizations. A seeded shape generator draws
+// degenerate (size-1), small-odd, tile-straddling and tall m >> N shapes —
+// plus rank-deficient contents (zero / duplicated columns, low-rank
+// products) — and pins
+//   - blocked vs reference agreement <= 1e-10 for gemm, syrk, Cholesky and
+//     the blocked Householder QR, across random block sizes, and
+//   - qr vs svd ensemble-space analysis increments <= 1e-8 end to end.
+// This replaces the hand-enumerated shape lists that used to live in
+// la_backend_test.cpp. Every case logs its index and derived seed, so a
+// failure reproduces by construction (the master seeds below are fixed).
+//
+// The PackedPanelRegression case at the bottom reproduces the PR 3 bug
+// class (thread_local packed-panel buffers read as empty by OMP workers);
+// tests/CMakeLists.txt runs it again under OMP_NUM_THREADS=4 so single-core
+// containers cannot hide the race.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "enkf/enkf.h"
+#include "la/backend.h"
+#include "la/blas.h"
+#include "la/cholesky.h"
+#include "la/qr.h"
+#include "la/svd.h"
+#include "la/workspace.h"
+#include "util/rng.h"
+
+using namespace wfire::la;
+using wfire::enkf::EnKFOptions;
+using wfire::enkf::Factorization;
+using wfire::enkf::SolverPath;
+using wfire::util::Rng;
+
+namespace {
+
+// Relative max-abs error against the Frobenius scale of the reference.
+double rel_err(const Matrix& got, const Matrix& want) {
+  const double scale = std::max(frobenius_norm(want), 1.0);
+  return max_abs_diff(got, want) / scale;
+}
+
+// Seeded generator of stress shapes and matrix contents. Categories mirror
+// what broke (or could break) the tiled kernels: degenerate dimensions,
+// small odd sizes, sizes straddling the tile edge, and the tall-skinny
+// m >> N regime of image-scale EnKF systems.
+class CaseGen {
+ public:
+  explicit CaseGen(std::uint64_t seed) : rng_(seed) {}
+
+  int dim(int nb) {
+    switch (rng_.uniform_int(4)) {
+      case 0:
+        return 1;  // degenerate
+      case 1:
+        return 2 + static_cast<int>(rng_.uniform_int(15));  // small / odd
+      case 2: {
+        // Straddle the tile edge: {nb-1, nb, nb+1} and {2nb-1, 2nb, 2nb+1}.
+        const int mult = 1 + static_cast<int>(rng_.uniform_int(2));
+        const int off = static_cast<int>(rng_.uniform_int(3)) - 1;
+        return std::max(1, mult * nb + off);
+      }
+      default:
+        return 100 + static_cast<int>(rng_.uniform_int(160));  // multi-tile
+    }
+  }
+
+  int tall() { return 200 + static_cast<int>(rng_.uniform_int(1100)); }
+  int skinny() { return 2 + static_cast<int>(rng_.uniform_int(30)); }
+  int block() {
+    constexpr int kSizes[] = {8, 16, 64};
+    return kSizes[rng_.uniform_int(3)];
+  }
+  bool coin() { return rng_.uniform_int(2) == 1; }
+  double scalar() { return rng_.uniform(-2.0, 2.0); }
+
+  Matrix dense(int m, int n) { return Matrix::random_normal(m, n, rng_); }
+
+  // Rank-deficient contents: zero columns, duplicated columns, or a
+  // low-rank product — all shapes the svd path handles via its rcond
+  // cutoff and the qr square-root must handle without one.
+  Matrix deficient(int m, int n) {
+    Matrix A = dense(m, n);
+    switch (rng_.uniform_int(3)) {
+      case 0: {  // zero out a few columns
+        const int nz = 1 + static_cast<int>(rng_.uniform_int(std::max(n / 2, 1)));
+        for (int z = 0; z < nz; ++z) {
+          auto col = A.col(static_cast<int>(rng_.uniform_int(n)));
+          std::fill(col.begin(), col.end(), 0.0);
+        }
+        break;
+      }
+      case 1: {  // duplicate columns
+        if (n >= 2) {
+          const int src = static_cast<int>(rng_.uniform_int(n));
+          const int dst = static_cast<int>(rng_.uniform_int(n));
+          const auto s = A.col(src);
+          auto d = A.col(dst);
+          std::copy(s.begin(), s.end(), d.begin());
+        }
+        break;
+      }
+      default: {  // rank r < min(m, n) outer product
+        const int r = 1 + static_cast<int>(
+                              rng_.uniform_int(std::max(std::min(m, n) / 2, 1)));
+        const Matrix L = dense(m, r);
+        const Matrix R = dense(r, n);
+        gemm(false, false, 1.0, L, R, 0.0, A);
+        break;
+      }
+    }
+    return A;
+  }
+
+  Matrix spd(int n) {
+    const Matrix A = dense(n, n);
+    Matrix S(n, n);
+    syrk(false, 1.0, A, 0.0, S);
+    for (int i = 0; i < n; ++i) S(i, i) += n;  // well-conditioned
+    return S;
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+TEST(PropertyGemm, BlockedMatchesReferenceAcrossRandomShapes) {
+  CaseGen gen(0xA11CE5EEDULL);
+  for (int c = 0; c < 48; ++c) {
+    const int nb = gen.block();
+    ScopedBackend scope(Backend::kBlocked, nb);
+    const int m = gen.dim(nb), n = gen.dim(nb), k = gen.dim(nb);
+    const bool tA = gen.coin(), tB = gen.coin();
+    const double alpha = gen.scalar();
+    const double beta = gen.coin() ? gen.scalar() : 0.0;
+    const bool rank_def = c % 5 == 4;
+    const Matrix A = rank_def ? gen.deficient(tA ? k : m, tA ? m : k)
+                              : gen.dense(tA ? k : m, tA ? m : k);
+    const Matrix B = gen.dense(tB ? n : k, tB ? k : n);
+    Matrix C0 = gen.dense(m, n);
+    Matrix C1 = C0;
+    {
+      ScopedBackend ref(Backend::kReference);
+      gemm(tA, tB, alpha, A, B, beta, C0);
+    }
+    gemm(tA, tB, alpha, A, B, beta, C1);
+    ASSERT_LE(rel_err(C1, C0), 1e-10)
+        << "case " << c << ": " << m << "x" << n << "x" << k << " tA " << tA
+        << " tB " << tB << " alpha " << alpha << " beta " << beta << " nb "
+        << nb << (rank_def ? " (rank-deficient A)" : "");
+  }
+}
+
+TEST(PropertySyrk, BlockedMatchesReferenceAndGemm) {
+  CaseGen gen(0x5E1F0CAFEULL);
+  for (int c = 0; c < 32; ++c) {
+    const int nb = gen.block();
+    ScopedBackend scope(Backend::kBlocked, nb);
+    const int m = gen.dim(nb), k = gen.dim(nb);
+    const bool tA = gen.coin();
+    const double alpha = gen.scalar();
+    const Matrix A = c % 4 == 3 ? gen.deficient(tA ? k : m, tA ? m : k)
+                                : gen.dense(tA ? k : m, tA ? m : k);
+    // beta != 0 requires a symmetric C by contract.
+    const bool accumulate = gen.coin();
+    Matrix C0 = accumulate ? gen.spd(m) : Matrix(m, m);
+    Matrix C1 = C0;
+    const double beta = accumulate ? gen.scalar() : 0.0;
+    {
+      ScopedBackend ref(Backend::kReference);
+      syrk(tA, alpha, A, beta, C0);
+    }
+    syrk(tA, alpha, A, beta, C1);
+    ASSERT_LE(rel_err(C1, C0), 1e-10)
+        << "case " << c << ": m " << m << " k " << k << " tA " << tA
+        << " beta " << beta << " nb " << nb;
+    // Exact symmetry (mirrored, not recomputed).
+    for (int j = 0; j < m; ++j)
+      for (int i = 0; i < j; ++i) ASSERT_EQ(C1(i, j), C1(j, i));
+    // And, when not accumulating, both equal the gemm formulation.
+    if (beta == 0.0) {
+      Matrix G(m, m);
+      gemm(tA, !tA, alpha, A, A, 0.0, G);
+      ASSERT_LE(rel_err(C1, G), 1e-10) << "case " << c << " vs gemm";
+    }
+  }
+}
+
+TEST(PropertyCholesky, BlockedFactorMatchesReference) {
+  CaseGen gen(0xC401E5C1ULL);
+  for (int c = 0; c < 24; ++c) {
+    const int nb = gen.block();
+    ScopedBackend scope(Backend::kBlocked, nb);
+    const int n = gen.dim(nb);
+    const Matrix S = gen.spd(n);
+    Matrix L_ref, L_blk;
+    int jit_ref, jit_blk;
+    {
+      ScopedBackend ref(Backend::kReference);
+      jit_ref = cholesky_factor(S, L_ref);
+    }
+    jit_blk = cholesky_factor(S, L_blk);
+    ASSERT_EQ(jit_ref, 0) << "case " << c << " n " << n;
+    ASSERT_EQ(jit_blk, 0) << "case " << c << " n " << n;
+    ASSERT_LE(rel_err(L_blk, L_ref), 1e-10) << "case " << c << " n " << n
+                                            << " nb " << nb;
+    // Reconstructs A; strict upper triangle exactly zero.
+    const Matrix R = matmul(L_blk, L_blk, false, true);
+    ASSERT_LE(rel_err(R, S), 1e-10) << "case " << c;
+    for (int j = 1; j < n; ++j)
+      for (int i = 0; i < j; ++i) ASSERT_EQ(L_blk(i, j), 0.0);
+  }
+}
+
+TEST(PropertyQr, BlockedMatchesReferenceOnFullRank) {
+  // Full-rank random matrices: the Householder sequence is numerically
+  // stable, so the blocked (compact-WY) path must reproduce the reference
+  // factor — R, the packed reflectors and the scalars — to tight tolerance.
+  CaseGen gen(0x9A7B0537ULL);
+  for (int c = 0; c < 28; ++c) {
+    const int nb = gen.block();
+    ScopedBackend scope(Backend::kBlocked, nb);
+    const int n = c % 3 == 0 ? gen.skinny() : gen.dim(nb);
+    const int m = c % 3 == 0 ? gen.tall() : n + static_cast<int>(
+                                                    gen.rng().uniform_int(40));
+    const Matrix A = gen.dense(m, n);
+    Matrix qr_ref = A, qr_blk = A;
+    Vector beta_ref, beta_blk;
+    Workspace ws;
+    {
+      ScopedBackend ref(Backend::kReference);
+      qr_factor_in_place(qr_ref, beta_ref);
+    }
+    qr_factor_in_place(qr_blk, beta_blk, &ws);
+    ASSERT_LE(rel_err(qr_blk, qr_ref), 1e-10)
+        << "case " << c << ": " << m << "x" << n << " nb " << nb;
+    for (int j = 0; j < n; ++j)
+      ASSERT_NEAR(beta_blk[j], beta_ref[j], 1e-10)
+          << "case " << c << " beta[" << j << "]";
+  }
+}
+
+TEST(PropertyQr, EachBackendReconstructsRankDeficient) {
+  // Rank-deficient inputs admit many valid QR factorizations (a numerically
+  // zero pivot column makes the reflector direction arbitrary), so blocked
+  // and reference are each pinned to the defining property Q R = A with
+  // orthonormal Q instead of to each other.
+  CaseGen gen(0xDEF1C1E47ULL);
+  for (int c = 0; c < 16; ++c) {
+    const int nb = gen.block();
+    const int n = 2 + static_cast<int>(gen.rng().uniform_int(24));
+    const int m = n + static_cast<int>(gen.rng().uniform_int(120));
+    const Matrix A = gen.deficient(m, n);
+    for (const Backend be : {Backend::kReference, Backend::kBlocked}) {
+      ScopedBackend scope(be, nb);
+      const QrFactor f = qr_factor(A);
+      const Matrix Q = economy_q(f);
+      const Matrix R = economy_r(f);
+      ASSERT_LE(rel_err(matmul(Q, R), A), 1e-10)
+          << "case " << c << ": " << m << "x" << n << " backend "
+          << (be == Backend::kBlocked ? "blocked" : "reference");
+      ASSERT_LE(rel_err(matmul(Q, Q, true, false), Matrix::identity(n)), 1e-10)
+          << "case " << c << " Q^T Q";
+    }
+  }
+}
+
+TEST(PropertyQr, ApplyQtAndTriangularSolvesRoundTrip) {
+  CaseGen gen(0xAB5013DULL);
+  for (int c = 0; c < 16; ++c) {
+    const int nb = gen.block();
+    ScopedBackend scope(Backend::kBlocked, nb);
+    const int n = 2 + static_cast<int>(gen.rng().uniform_int(60));
+    const int m = n + static_cast<int>(gen.rng().uniform_int(300));
+    const int nrhs = 1 + static_cast<int>(gen.rng().uniform_int(20));
+    const Matrix A = gen.dense(m, n);
+    const Matrix B = gen.dense(m, nrhs);
+    Workspace ws;
+    Matrix QR = A;
+    Vector beta;
+    qr_factor_in_place(QR, beta, &ws);
+
+    // Blocked apply-Q^T equals the per-column reflector loop.
+    Matrix C_blk = B;
+    apply_qt_in_place(QR, beta, C_blk, &ws);
+    const QrFactor f{QR, beta};
+    Matrix C_col(m, nrhs);
+    for (int j = 0; j < nrhs; ++j) {
+      Vector v(B.col(j).begin(), B.col(j).end());
+      apply_qt(f, v);
+      auto dst = C_col.col(j);
+      std::copy(v.begin(), v.end(), dst.begin());
+    }
+    ASSERT_LE(rel_err(C_blk, C_col), 1e-10) << "case " << c;
+
+    // Q (Q^T B) = B.
+    Matrix C_round = C_blk;
+    apply_q_in_place(QR, beta, C_round, &ws);
+    ASSERT_LE(rel_err(C_round, B), 1e-10) << "case " << c;
+
+    // R^T (R x) round trip through the triangular solves.
+    Matrix Z = gen.dense(n, nrhs);
+    Matrix Y(n, nrhs);
+    gemm(false, false, 1.0, economy_r(f), Z, 0.0, Y);  // Y = R Z
+    r_solve_in_place(QR, Y);
+    ASSERT_LE(rel_err(Y, Z), 1e-8) << "case " << c << " r_solve";
+    gemm(true, false, 1.0, economy_r(f), Z, 0.0, Y);  // Y = R^T Z
+    rt_solve_in_place(QR, Y);
+    ASSERT_LE(rel_err(Y, Z), 1e-8) << "case " << c << " rt_solve";
+  }
+}
+
+TEST(PropertyEnkf, QrAndSvdAnalysisIncrementsAgree) {
+  // End-to-end pin of the tentpole: the QR square-root ensemble-space
+  // analysis must match the SVD path on the same problem (same innovation
+  // draws) to <= 1e-8 relative increment error, across shapes including
+  // m >> N image scale and rank-deficient ensembles, on both kernel
+  // backends.
+  CaseGen gen(0xE2DF4C70ULL);
+  for (int c = 0; c < 12; ++c) {
+    const int N = 4 + static_cast<int>(gen.rng().uniform_int(24));
+    // Mostly the m >> N image regime; every third case forces m < N, where
+    // the qr path must factor the m x m (not N x N) square-root system.
+    const int m = c % 3 == 2
+                      ? 2 + static_cast<int>(gen.rng().uniform_int(N - 2))
+                      : 2 * N + 1 + static_cast<int>(gen.rng().uniform_int(700));
+    const int n = 20 + static_cast<int>(gen.rng().uniform_int(100));
+    Matrix X(n, N);
+    for (int k = 0; k < N; ++k)
+      for (int i = 0; i < n; ++i) X(i, k) = gen.rng().normal();
+    Matrix HX(m, N);
+    for (int k = 0; k < N; ++k)
+      for (int i = 0; i < m; ++i)
+        HX(i, k) = X(i % n, k) + 0.1 * gen.rng().normal();
+    if (c % 4 == 3 && N >= 3) {
+      // Duplicated member (state and observed): exactly rank-deficient
+      // anomalies, the regime where the svd path leans on its rcond cutoff.
+      std::copy(X.col(0).begin(), X.col(0).end(), X.col(1).begin());
+      std::copy(HX.col(0).begin(), HX.col(0).end(), HX.col(1).begin());
+    }
+    Vector d(static_cast<std::size_t>(m));
+    Vector r_std(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      d[i] = gen.rng().normal();
+      r_std[i] = gen.rng().uniform(0.3, 2.0);
+    }
+
+    for (const Backend be : {Backend::kReference, Backend::kBlocked}) {
+      ScopedBackend scope(be);
+      EnKFOptions opt;
+      opt.path = SolverPath::kEnsembleSpace;
+      const std::uint64_t rng_seed = 1000 + c;
+
+      Matrix Xq = X;
+      opt.factorization = Factorization::kQr;
+      Rng rq(rng_seed);
+      const auto sq = wfire::enkf::enkf_analysis(Xq, HX, d, r_std, rq, opt);
+      EXPECT_EQ(sq.factorization_used, Factorization::kQr);
+
+      Matrix Xs = X;
+      opt.factorization = Factorization::kSvd;
+      Rng rs(rng_seed);
+      const auto ss = wfire::enkf::enkf_analysis(Xs, HX, d, r_std, rs, opt);
+      EXPECT_EQ(ss.factorization_used, Factorization::kSvd);
+
+      // Relative to the size of the svd-path increment, not of X.
+      Matrix inc(n, N);
+      for (int k = 0; k < N; ++k)
+        for (int i = 0; i < n; ++i) inc(i, k) = Xs(i, k) - X(i, k);
+      const double scale = std::max(frobenius_norm(inc), 1e-12);
+      ASSERT_LE(max_abs_diff(Xq, Xs) / scale, 1e-8)
+          << "case " << c << ": n " << n << " m " << m << " N " << N
+          << " backend " << (be == Backend::kBlocked ? "blocked" : "reference");
+    }
+  }
+}
+
+// Regression for the PR 3 bug class: gemm/syrk pack shared panels into
+// thread_local buffers; capturing the buffer (instead of its raw pointer)
+// in the OpenMP region made every worker read its own empty instance. The
+// bug is invisible with one thread, so tests/CMakeLists.txt re-runs this
+// suite with OMP_NUM_THREADS=4; tiles (8) far smaller than the packed
+// panels (KC/NC/MC) force multiple workers through one shared panel.
+TEST(PackedPanelRegression, BlockedKernelsWithTilesSmallerThanPanels) {
+  Rng rng(0xF00DF00DULL);
+  ScopedBackend scope(Backend::kBlocked, 8);
+  const int m = 130, n = 120, k = 96;
+  const Matrix A = Matrix::random_normal(m, k, rng);
+  const Matrix B = Matrix::random_normal(k, n, rng);
+
+  Matrix C0(m, n), C1(m, n);
+  {
+    ScopedBackend ref(Backend::kReference);
+    gemm(false, false, 1.0, A, B, 0.0, C0);
+  }
+  gemm(false, false, 1.0, A, B, 0.0, C1);
+  ASSERT_LE(rel_err(C1, C0), 1e-10) << "gemm";
+
+  Matrix S0(m, m), S1(m, m);
+  {
+    ScopedBackend ref(Backend::kReference);
+    syrk(false, 1.0, A, 0.0, S0);
+  }
+  syrk(false, 1.0, A, 0.0, S1);
+  ASSERT_LE(rel_err(S1, S0), 1e-10) << "syrk";
+
+  for (int i = 0; i < m; ++i) S0(i, i) += m;
+  Matrix L0, L1;
+  {
+    ScopedBackend ref(Backend::kReference);
+    cholesky_factor(S0, L0);
+  }
+  cholesky_factor(S0, L1);
+  ASSERT_LE(rel_err(L1, L0), 1e-10) << "cholesky";
+
+  // The blocked QR drives its trailing updates through the same gemm.
+  Matrix Q0 = Matrix::random_normal(140, 90, rng);
+  Matrix Q1 = Q0;
+  Vector b0, b1;
+  {
+    ScopedBackend ref(Backend::kReference);
+    qr_factor_in_place(Q0, b0);
+  }
+  Workspace ws;
+  qr_factor_in_place(Q1, b1, &ws);
+  ASSERT_LE(rel_err(Q1, Q0), 1e-10) << "qr";
+}
