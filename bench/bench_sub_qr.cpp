@@ -7,6 +7,10 @@
 //  - blocked vs reference apply-Q^T cost for multi-RHS least squares;
 //  - the headline replacement: QR of [B; I] vs the one-sided Jacobi SVD of
 //    B it displaced (the PR 3 serial bottleneck) at m = 10000, N = 25.
+//  - the PR 5 scheme question: TSQR (row-block tree) vs the blocked
+//    compact-WY chain vs the Jacobi SVD on the stacked image-scale panel,
+//    across observation counts (BM_QR_Scheme; thread count is recorded so
+//    multi-core captures are self-describing).
 #include <benchmark/benchmark.h>
 
 #include "backend_args.h"
@@ -16,6 +20,10 @@
 #include "la/svd.h"
 #include "la/workspace.h"
 #include "util/rng.h"
+
+#if defined(WFIRE_HAVE_OPENMP)
+#include <omp.h>
+#endif
 
 using namespace wfire::la;
 using wfire::bench::arg_backend;
@@ -120,5 +128,68 @@ BENCHMARK(BM_QrVsSvd_EnsembleFactor)
     ->Unit(benchmark::kMillisecond)
     ->Arg(0)
     ->Arg(1);
+
+namespace {
+
+int omp_threads() {
+#if defined(WFIRE_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
+
+// The PR 5 scheme comparison on the analysis panel: factor the stacked
+// [B; I_N] of an ensemble analysis with the TSQR row-block tree (arg 1 = 0)
+// or the blocked compact-WY chain (1), against the Jacobi SVD of B (2) as
+// the historical reference, at N = 25 and image-scale observation counts.
+// On one core tsqr and blocked should be comparable (same flops, the tree
+// is noise); the tsqr case is the one expected to scale with cores — the
+// "threads" counter records what the capture machine actually exposed.
+static void BM_QR_Scheme(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int which = static_cast<int>(state.range(1));
+  const int N = 25;
+  wfire::util::Rng rng(31);
+  const Matrix B = Matrix::random_normal(m, N, rng);
+  Workspace ws;
+  Matrix M(m + N, N);
+  Vector beta;
+  for (auto _ : state) {
+    if (which == 2) {
+      const SvdResult s = svd(B);
+      benchmark::DoNotOptimize(s.sigma.data());
+      continue;
+    }
+    for (int k = 0; k < N; ++k) {
+      const auto src = B.col(k);
+      auto dst = M.col(k);
+      for (int i = 0; i < m; ++i) dst[i] = src[i];
+      for (int i = 0; i < N; ++i) dst[m + i] = i == k ? 1.0 : 0.0;
+    }
+    if (which == 0)
+      tsqr_factor_r_in_place(M, &ws);
+    else
+      qr_factor_in_place(M, beta, &ws);
+    benchmark::DoNotOptimize(M.data());
+  }
+  state.SetLabel(which == 0 ? "tsqr" : which == 1 ? "blocked" : "svd");
+  state.counters["m"] = m;
+  state.counters["N"] = N;
+  state.counters["threads"] = omp_threads();
+}
+BENCHMARK(BM_QR_Scheme)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({2000, 0})
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({40000, 0})
+    ->Args({40000, 1})
+    ->Args({40000, 2});
 
 BENCHMARK_MAIN();

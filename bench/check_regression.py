@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for CI.
+
+Compares Google-Benchmark JSON output against a committed per-runner
+baseline and fails (exit 1) when any gated benchmark is slower than
+baseline * threshold. A benchmark listed in the baseline but missing from
+the current results also fails — otherwise a rename or filter change would
+silently drop the gate (the same trap the PASS_REGULAR_EXPRESSION guards in
+tests/CMakeLists.txt exist for).
+
+Usage:
+  check_regression.py --baseline bench/ci_baseline_ubuntu.json \
+      [--threshold 1.25] [--update] current1.json [current2.json ...]
+
+The baseline format:
+  { "meta": {...free-form provenance...},
+    "threshold": 1.25,
+    "benchmarks": { "<name>": {"real_time": <t>, "time_unit": "ms"}, ... } }
+
+--update rewrites the baseline's benchmark times from the current results
+(meta preserved, threshold kept): the refresh flow is to download the JSON
+artifact from a green CI run on the target runner and re-commit. A baseline
+captured on a different machine is only a tripwire until then.
+"""
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Everything is normalized to nanoseconds before comparing.
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_current(paths):
+    out = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for b in data.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            out[b["name"]] = {
+                "real_time": b["real_time"],
+                "time_unit": b.get("time_unit", "ns"),
+            }
+    return out
+
+
+def to_ns(entry):
+    return entry["real_time"] * UNIT_NS[entry["time_unit"]]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True, type=Path)
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="slowdown ratio that fails (default: baseline file's "
+                         "'threshold' field, else 1.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline's times from the current "
+                         "results instead of gating")
+    ap.add_argument("current", nargs="+", type=Path)
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    current = load_current(args.current)
+
+    if args.update:
+        missing = [n for n in base["benchmarks"] if n not in current]
+        if missing:
+            print(f"refusing --update: current results lack {missing}")
+            return 1
+        for name in base["benchmarks"]:
+            base["benchmarks"][name] = {
+                "real_time": round(current[name]["real_time"], 3),
+                "time_unit": current[name]["time_unit"],
+            }
+        with open(args.baseline, "w") as f:
+            json.dump(base, f, indent=2)
+            f.write("\n")
+        print(f"updated {args.baseline} ({len(base['benchmarks'])} entries)")
+        return 0
+
+    threshold = args.threshold or base.get("threshold", 1.25)
+    failures = []
+    width = max((len(n) for n in base["benchmarks"]), default=20)
+    print(f"{'benchmark':<{width}}  {'base':>10}  {'current':>10}  "
+          f"{'ratio':>6}  gate<= {threshold:.2f}")
+    for name, b in sorted(base["benchmarks"].items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current results")
+            print(f"{name:<{width}}  {'-':>10}  {'MISSING':>10}")
+            continue
+        ratio = to_ns(cur) / to_ns(b)
+        status = "ok" if ratio <= threshold else "FAIL"
+        print(f"{name:<{width}}  {b['real_time']:>8.2f}{b['time_unit']}  "
+              f"{cur['real_time']:>8.2f}{cur['time_unit']}  {ratio:>6.2f}  "
+              f"{status}")
+        if ratio > threshold:
+            failures.append(f"{name}: {ratio:.2f}x baseline "
+                            f"(limit {threshold:.2f}x)")
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for msg in failures:
+            print(f"  - {msg}")
+        print("\nIf this is an accepted change (or the runner hardware "
+              "moved), refresh the baseline from this run's JSON artifact:\n"
+              "  bench/check_regression.py --baseline "
+              "bench/ci_baseline_ubuntu.json --update <artifact jsons>")
+        return 1
+    print(f"\nall {len(base['benchmarks'])} gated benchmarks within "
+          f"{threshold:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

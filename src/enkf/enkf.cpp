@@ -11,6 +11,7 @@
 #include "la/cholesky.h"
 #include "la/qr.h"
 #include "la/svd.h"
+#include "util/omp_compat.h"
 
 namespace wfire::enkf {
 
@@ -76,49 +77,78 @@ void scale_ensemble_system(const la::Matrix& HA, const la::Matrix& Y,
 //   m <  N:  W = B^T (I + B B^T)^{-1} Ytilde directly.
 //
 // Instead of forming B^T B / B B^T (which would square the condition
-// number), the blocked Householder QR of the stacked matrix [B; I_N]
-// (resp. [B^T; I_m]) yields an upper-triangular Rs with
-// Rs^T Rs = I + B^T B (resp. I + B B^T), so W follows from gemm and two
-// small triangular solves. Since Rs^T Rs >= I, every |Rs_ii| >= 1: the
-// solves cannot hit a small pivot even for rank-deficient ensembles (where
-// the svd path relies on its rcond cutoff). Everything runs through the
-// dual-backend kernels (qr_factor_in_place, gemm) on arena buffers — no
-// internal allocation in steady state, unlike the Jacobi SVD it replaces.
+// number), the Householder QR of the stacked matrix [B; I_N] (resp.
+// [B^T; I_m]) yields an upper-triangular Rs with Rs^T Rs = I + B^T B
+// (resp. I + B B^T), so W follows from gemm and two small triangular
+// solves. Since Rs^T Rs >= I, every |Rs_ii| >= 1: the solves cannot hit a
+// small pivot even for rank-deficient ensembles (where the svd path relies
+// on its rcond cutoff).
+//
+// The m-sized work is one pass: in the image regime (m >= N) the scaled
+// stack B = R^{-1/2} HA / sqrt(N-1) is built directly from HA into the
+// panel (no separate B buffer), the panel is factored with the selected
+// scheme (TSQR splits it into row blocks factored in parallel), and
+// W = B^T Ytilde is computed from the *unscaled* HA and Y with the
+// R^{-1} weighting folded into the gemm's pack step (gemm_scaled) — the
+// two full m x N scaling sweeps the previous pipeline made are gone.
 void analyze_ensemble_space_qr(la::Matrix& X, const la::Matrix& A,
                                const la::Matrix& HA, const la::Matrix& Y,
-                               const la::Vector& r_std, la::Workspace& ws) {
+                               const la::Vector& r_std, la::QrScheme scheme,
+                               la::Workspace& ws, EnKFStats& stats) {
   const int N = X.cols();
   const int m = HA.rows();
   const double inv_sqrtn1 = 1.0 / std::sqrt(static_cast<double>(N - 1));
-  la::Matrix& B = ws.mat("ens.B", m, N);
-  la::Matrix& Yt = ws.mat("ens.Yt", m, N);
-  scale_ensemble_system(HA, Y, r_std, inv_sqrtn1, B, Yt);
-
   const int r = std::min(m, N);  // factored system dimension
   la::Matrix& M = ws.mat("ens.M", m + N, r);
+  la::Matrix& W = ws.mat("ens.W", N, N);
+  const bool tsqr = la::tsqr_selected(scheme, m + N, r);
+  stats.qr_scheme_used = tsqr ? la::QrScheme::kTsqr : la::QrScheme::kBlocked;
+
   if (m >= N) {  // stacked [B; I_N], Rs^T Rs = I + B^T B
+    // Pack-time weights: winv scales rows by R^{-1/2}/sqrt(N-1) while the
+    // stack is built; w2 carries the full R^{-1} (both B and Ytilde sides)
+    // into the coefficient gemm below.
+    la::Vector& winv = ws.vec("ens.winv", static_cast<std::size_t>(m));
+    la::Vector& w2 = ws.vec("ens.w2", static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      winv[i] = inv_sqrtn1 / r_std[i];
+      w2[i] = 1.0 / (r_std[i] * r_std[i]);
+    }
+    const double* wi = winv.data();
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) \
+                 if (static_cast<long>(m) * N > 65536))
     for (int k = 0; k < N; ++k) {
-      const auto src = B.col(k);
+      const auto src = HA.col(k);
       auto dst = M.col(k);
-      for (int i = 0; i < m; ++i) dst[i] = src[i];
+      for (int i = 0; i < m; ++i) dst[i] = src[i] * wi[i];
       for (int i = 0; i < N; ++i) dst[m + i] = i == k ? 1.0 : 0.0;
     }
-  } else {  // stacked [B^T; I_m], Rs^T Rs = I + B B^T
+    if (tsqr) {
+      la::tsqr_factor_r_in_place(M, &ws);
+    } else {
+      la::Vector& beta = ws.vec("ens.beta", static_cast<std::size_t>(r));
+      la::qr_factor_in_place(M, beta, &ws);
+    }
+    // W = B^T Ytilde = HA^T R^{-1} Y / sqrt(N-1), R^{-1} applied at pack
+    // time — neither B nor Ytilde is materialized.
+    la::gemm_scaled(true, false, inv_sqrtn1, HA, w2, Y, 0.0, W);
+    la::rt_solve_in_place(M, W);  // W <- Rs^-T W
+    la::r_solve_in_place(M, W);   // W <- Rs^-1 W = (I+B^T B)^-1 B^T Yt
+  } else {  // stacked [B^T; I_m], Rs^T Rs = I + B B^T; m < N is small
+    la::Matrix& B = ws.mat("ens.B", m, N);
+    la::Matrix& Yt = ws.mat("ens.Yt", m, N);
+    scale_ensemble_system(HA, Y, r_std, inv_sqrtn1, B, Yt);
     for (int k = 0; k < m; ++k) {
       auto dst = M.col(k);
       for (int i = 0; i < N; ++i) dst[i] = B(k, i);
       for (int i = 0; i < m; ++i) dst[N + i] = i == k ? 1.0 : 0.0;
     }
-  }
-  la::Vector& beta = ws.vec("ens.beta", static_cast<std::size_t>(r));
-  la::qr_factor_in_place(M, beta, &ws);
-
-  la::Matrix& W = ws.mat("ens.W", N, N);
-  if (m >= N) {
-    la::gemm(true, false, 1.0, B, Yt, 0.0, W);  // W = B^T Ytilde
-    la::rt_solve_in_place(M, W);                // W <- Rs^-T W
-    la::r_solve_in_place(M, W);                 // W <- Rs^-1 W = (I+B^T B)^-1 B^T Yt
-  } else {
+    if (tsqr) {
+      la::tsqr_factor_r_in_place(M, &ws);
+    } else {
+      la::Vector& beta = ws.vec("ens.beta", static_cast<std::size_t>(r));
+      la::qr_factor_in_place(M, beta, &ws);
+    }
     la::rt_solve_in_place(M, Yt);               // Yt <- Rs^-T Yt
     la::r_solve_in_place(M, Yt);                // Yt <- Stilde^-1 Ytilde
     la::gemm(true, false, 1.0, B, Yt, 0.0, W);  // W = B^T Stilde^-1 Yt
@@ -249,7 +279,7 @@ EnKFStats enkf_analysis(la::Matrix& X, const la::Matrix& HX,
     if (fact == Factorization::kSvd)
       analyze_ensemble_space_svd(X, A, HA, Y, r_std, opt.svd_rcond, ws);
     else
-      analyze_ensemble_space_qr(X, A, HA, Y, r_std, ws);
+      analyze_ensemble_space_qr(X, A, HA, Y, r_std, opt.qr_scheme, ws, stats);
   }
 
   {

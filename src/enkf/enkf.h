@@ -13,16 +13,26 @@
 //  - ensemble space: an N x N square-root system derived from
 //    B = R^{-1/2} HA / sqrt(N-1), cost O(m N^2) (best when m >> N, e.g.
 //    infrared image observations). Two factorizations of that system are
-//    kept: the default QR square-root form (one blocked Householder QR of
-//    the stacked (m+N) x N matrix [B; I], then two N x N triangular
-//    solves — never forms B^T B, so no condition-number squaring) and the
-//    original thin Jacobi SVD of B, retained as the property-tested
-//    reference (WFIRE_ENKF_FACTORIZATION=qr|svd, or Factorization below).
+//    kept: the default QR square-root form (one Householder QR of the
+//    stacked (m+N) x N matrix [B; I], then two N x N triangular solves —
+//    never forms B^T B, so no condition-number squaring) and the original
+//    thin Jacobi SVD of B, retained as the property-tested reference
+//    (WFIRE_ENKF_FACTORIZATION=qr|svd, or Factorization below).
+//
+// The QR path's panel factorization scheme is itself selectable
+// (WFIRE_QR_SCHEME=tsqr|blocked, or EnKFOptions::qr_scheme): the TSQR
+// scheme splits the tall stacked panel into row blocks factored in
+// parallel (see la/qr.h). The R^{-1/2} scaling of the anomalies and
+// innovations is fused into the stacked-panel build and the pack step of
+// the coefficient gemm (gemm_scaled), so the m-sized part of the analysis
+// is one parallel sweep plus the factorization — no separate B / Ytilde
+// scaling passes.
 #pragma once
 
 #include <string>
 
 #include "la/matrix.h"
+#include "la/qr.h"
 #include "la/workspace.h"
 #include "util/rng.h"
 
@@ -41,6 +51,9 @@ struct EnKFOptions {
   double inflation = 1.0;        // multiplicative, applied pre-analysis
   SolverPath path = SolverPath::kAuto;
   Factorization factorization = Factorization::kDefault;  // ensemble path
+  // Panel scheme of the QR square-root factorization; kAuto follows
+  // WFIRE_QR_SCHEME (and its m >= 8n heuristic when that is unset too).
+  la::QrScheme qr_scheme = la::QrScheme::kAuto;
   double svd_rcond = 1e-10;      // pseudo-inverse cutoff (svd factorization)
   // Scratch arena reused across calls; the analysis is allocation-free in
   // steady state when one is supplied (a temporary arena is used otherwise).
@@ -52,6 +65,9 @@ struct EnKFStats {
   // Resolved factorization when the ensemble-space path ran (kDefault when
   // the observation-space path was taken instead).
   Factorization factorization_used = Factorization::kDefault;
+  // Panel scheme the QR factorization resolved to (kAuto when the QR
+  // ensemble-space path did not run).
+  la::QrScheme qr_scheme_used = la::QrScheme::kAuto;
   int n = 0, m = 0, N = 0;
   double innovation_rms = 0;  // RMS of d - H(mean) before analysis
   double increment_rms = 0;   // RMS change of the ensemble mean

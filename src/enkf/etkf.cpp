@@ -44,13 +44,18 @@ EnKFStats etkf_analysis(la::Matrix& X, const la::Matrix& HX,
   anomalies(X, xbar, A);
   const double inv_sqrtn1 = 1.0 / std::sqrt(static_cast<double>(N - 1));
 
-  // S = R^{-1/2} HA / sqrt(N-1) and the scaled innovation.
-  la::Matrix& S = ws.mat("etkf.S", m, N);
-  la::Vector& ytilde = ws.vec("etkf.yt", static_cast<std::size_t>(m));
-  for (int i = 0; i < m; ++i) ytilde[i] = (d[i] - hbar[i]) / r_std[i];
+  // Observation anomalies, unscaled: the R^{-1/2}/sqrt(N-1) weighting that
+  // used to be baked into an m x N matrix S is fused into the rank-k
+  // product below via its pack-time scale hook, so S never exists.
+  la::Matrix& HAnom = ws.mat("etkf.HAn", m, N);
   for (int k = 0; k < N; ++k)
-    for (int i = 0; i < m; ++i)
-      S(i, k) = (HXi(i, k) - hbar[i]) * inv_sqrtn1 / r_std[i];
+    for (int i = 0; i < m; ++i) HAnom(i, k) = HXi(i, k) - hbar[i];
+  la::Vector& w2 = ws.vec("etkf.w2", static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) w2[i] = 1.0 / (r_std[i] * r_std[i]);
+  // ytw = R^{-1} (d - hbar): the innovation with both R^{-1/2} factors of
+  // S^T ytilde applied up front.
+  la::Vector& ytw = ws.vec("etkf.ytw", static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) ytw[i] = (d[i] - hbar[i]) * w2[i];
   {
     double s = 0;
     for (int i = 0; i < m; ++i) s += (d[i] - hbar[i]) * (d[i] - hbar[i]);
@@ -58,19 +63,21 @@ EnKFStats etkf_analysis(la::Matrix& X, const la::Matrix& HX,
   }
 
   // Ptilde = (I + S^T S)^{-1} via the symmetric eigendecomposition of the
-  // N x N system, built with the rank-k kernel (half the flops of the gemm
-  // it replaces — the only O(m N^2) work in this filter). The square-root
-  // transform needs the *symmetric* square root of Ptilde, so the N x N
-  // factorization stays an eigendecomposition rather than a QR (see
-  // enkf.cpp for the QR square-root of the stochastic filter).
+  // N x N system. S^T S = HA^T R^{-1} HA / (N-1) is built with the scaled
+  // rank-k kernel (half the flops of the gemm it replaces — the only
+  // O(m N^2) work in this filter). The square-root transform needs the
+  // *symmetric* square root of Ptilde, so the N x N factorization stays an
+  // eigendecomposition rather than a QR (see enkf.cpp for the QR
+  // square-root of the stochastic filter).
   la::Matrix& StS = ws.mat("etkf.StS", N, N);
-  la::syrk(/*transA=*/true, 1.0, S, 0.0, StS);
+  const double invn1 = inv_sqrtn1 * inv_sqrtn1;
+  la::syrk_scaled(/*transA=*/true, invn1, HAnom, w2, 0.0, StS);
   for (int i = 0; i < N; ++i) StS(i, i) += 1.0;
   const la::EigenSymResult eig = la::eigen_sym(StS);
 
-  // wbar = Ptilde S^T ytilde / sqrt(N-1).
+  // wbar = Ptilde S^T ytilde / sqrt(N-1); S^T ytilde = HA^T ytw / sqrt(N-1).
   la::Vector& Sty = ws.vec("etkf.Sty", static_cast<std::size_t>(N));
-  la::gemv_t(1.0, S, ytilde, 0.0, Sty);
+  la::gemv_t(inv_sqrtn1, HAnom, ytw, 0.0, Sty);
   // Apply Ptilde = V diag(1/lambda) V^T.
   la::Vector& tmp = ws.vec("etkf.tmp", static_cast<std::size_t>(N));
   la::gemv_t(1.0, eig.vectors, Sty, 0.0, tmp);

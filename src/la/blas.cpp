@@ -65,9 +65,12 @@ inline double at(const Matrix& M, bool trans, int i, int j) {
 
 // --- reference kernels (the original naive loops) ---
 
+// `scale`, when non-null, weights the contraction dimension: the kernel
+// computes op(A) diag(scale) op(B) (the fused-scaling variants; null means
+// plain gemm/syrk).
 void gemm_reference(bool transA, bool transB, double alpha, const Matrix& A,
                     const Matrix& B, double beta, Matrix& C, int m, int n,
-                    int k) {
+                    int k, const double* scale) {
   constexpr int kBlock = 64;
 WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j0 = 0; j0 < n; j0 += kBlock) {
@@ -80,7 +83,8 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
         const int p1 = std::min(p0 + kBlock, k);
         for (int j = j0; j < j1; ++j) {
           for (int p = p0; p < p1; ++p) {
-            const double bpj = alpha * at(B, transB, p, j);
+            double bpj = alpha * at(B, transB, p, j);
+            if (scale) bpj *= scale[p];
             if (bpj == 0.0) continue;
             for (int i = i0; i < i1; ++i) C(i, j) += at(A, transA, i, p) * bpj;
           }
@@ -91,11 +95,14 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
 }
 
 void syrk_reference(bool transA, double alpha, const Matrix& A, double beta,
-                    Matrix& C, int m, int k) {
+                    Matrix& C, int m, int k, const double* scale) {
   for (int j = 0; j < m; ++j) {
     for (int i = j; i < m; ++i) {
       double s = 0;
-      for (int p = 0; p < k; ++p) s += at(A, transA, i, p) * at(A, transA, j, p);
+      for (int p = 0; p < k; ++p) {
+        const double w = scale ? scale[p] : 1.0;
+        s += at(A, transA, i, p) * at(A, transA, j, p) * w;
+      }
       C(i, j) = beta * C(i, j) + alpha * s;
     }
   }
@@ -119,21 +126,36 @@ void ger_reference(double alpha, const Vector& x, const Vector& y, Matrix& A) {
 // OpenMP dimension. Scratch buffers are thread_local so repeated calls are
 // allocation-free in steady state.
 
-// Packs op(A)(i0:i0+mb, p0:p0+kb) column-major into dst (mb x kb).
+// Packs op(A)(i0:i0+mb, p0:p0+kb) column-major into dst (mb x kb). When
+// `scale` is non-null, packed column p is multiplied by scale[p0 + p] — the
+// pack-time per-column scale hook: a diagonal weighting of the contraction
+// dimension rides along with the copy the pack already makes.
 void pack_a(const Matrix& A, bool trans, int i0, int p0, int mb, int kb,
-            double* dst) {
+            const double* scale, double* dst) {
   const double* src = A.data();
+  const std::size_t lda = static_cast<std::size_t>(A.rows());
   if (!trans) {
-    const std::size_t lda = static_cast<std::size_t>(A.rows());
-    for (int p = 0; p < kb; ++p)
-      std::memcpy(dst + static_cast<std::size_t>(p) * mb,
-                  src + (p0 + p) * lda + i0, sizeof(double) * mb);
+    for (int p = 0; p < kb; ++p) {
+      const double* col = src + (p0 + p) * lda + i0;
+      double* d = dst + static_cast<std::size_t>(p) * mb;
+      if (scale) {
+        const double w = scale[p0 + p];
+        for (int i = 0; i < mb; ++i) d[i] = col[i] * w;
+      } else {
+        std::memcpy(d, col, sizeof(double) * mb);
+      }
+    }
   } else {
     // op(A)(i, p) = A(p, i): walk source columns (i) with unit stride in p.
-    const std::size_t lda = static_cast<std::size_t>(A.rows());
     for (int i = 0; i < mb; ++i) {
       const double* col = src + (static_cast<std::size_t>(i0) + i) * lda + p0;
-      for (int p = 0; p < kb; ++p) dst[static_cast<std::size_t>(p) * mb + i] = col[p];
+      if (scale) {
+        for (int p = 0; p < kb; ++p)
+          dst[static_cast<std::size_t>(p) * mb + i] = col[p] * scale[p0 + p];
+      } else {
+        for (int p = 0; p < kb; ++p)
+          dst[static_cast<std::size_t>(p) * mb + i] = col[p];
+      }
     }
   }
 }
@@ -211,7 +233,7 @@ void scale_tile(double beta, double* C, std::size_t ldc, int mb, int nb) {
 
 void gemm_blocked(bool transA, bool transB, double alpha, const Matrix& A,
                   const Matrix& B, double beta, Matrix& C, int m, int n,
-                  int k) {
+                  int k, const double* scale) {
   const int nb = block_size();
   const int MC = 2 * nb;
   const int KC = std::min(4 * nb, 512);
@@ -245,7 +267,7 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (n_ic > 1))
         const int mc = std::min(MC, m - ic);
         static thread_local std::vector<double> ap_buf;
         ap_buf.resize(static_cast<std::size_t>(MC) * KC);
-        pack_a(A, transA, ic, pc, mc, kc, ap_buf.data());
+        pack_a(A, transA, ic, pc, mc, kc, scale, ap_buf.data());
         double* Ct = Cd + static_cast<std::size_t>(jc) * ldc + ic;
         scale_tile(tile_beta, Ct, ldc, mc, nc);
         micro_kernel(mc, nc, kc, alpha, ap_buf.data(), Bp, Ct, ldc);
@@ -255,7 +277,7 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (n_ic > 1))
 }
 
 void syrk_blocked(bool transA, double alpha, const Matrix& A, double beta,
-                  Matrix& C, int m, int k) {
+                  Matrix& C, int m, int k, const double* scale) {
   const int nb = block_size();
   const int KC = std::min(4 * nb, 512);
   double* Cd = C.data();
@@ -282,7 +304,9 @@ void syrk_blocked(bool transA, double alpha, const Matrix& A, double beta,
 
   for (int pc = 0; pc < k; pc += KC) {
     const int kc = std::min(KC, k - pc);
-    pack_a(A, transA, 0, pc, m, kc, P);
+    // The panel stays unscaled; the weight enters once per contraction
+    // column through `v` below (scaling the pack would apply it twice).
+    pack_a(A, transA, 0, pc, m, kc, nullptr, P);
     const double tile_beta = pc == 0 ? beta : 1.0;
 WFIRE_PRAGMA_OMP(omp parallel for schedule(dynamic) if (ntiles > 1))
     for (int t = 0; t < ntiles; ++t) {
@@ -298,7 +322,8 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(dynamic) if (ntiles > 1))
             cj[i] = tile_beta == 0.0 ? 0.0 : cj[i] * tile_beta;
         for (int p = 0; p < kc; ++p) {
           const double* col = P + static_cast<std::size_t>(p) * m;
-          const double v = alpha * col[j0 + j];
+          double v = alpha * col[j0 + j];
+          if (scale) v *= scale[pc + p];
           if (v == 0.0) continue;
           const double* a = col + i0;
           for (int i = istart; i < mb; ++i) cj[i] += a[i] * v;
@@ -330,8 +355,11 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static) \
 
 }  // namespace
 
-void gemm(bool transA, bool transB, double alpha, const Matrix& A,
-          const Matrix& B, double beta, Matrix& C) {
+namespace {
+
+void gemm_dispatch(bool transA, bool transB, double alpha, const Matrix& A,
+                   const Matrix& B, double beta, Matrix& C,
+                   const double* scale) {
   const int m = transA ? A.cols() : A.rows();
   const int k = transA ? A.rows() : A.cols();
   const int kb = transB ? B.cols() : B.rows();
@@ -340,21 +368,49 @@ void gemm(bool transA, bool transB, double alpha, const Matrix& A,
     throw std::invalid_argument("gemm: size mismatch");
   if (m == 0 || n == 0) return;
   if (backend() == Backend::kReference)
-    gemm_reference(transA, transB, alpha, A, B, beta, C, m, n, k);
+    gemm_reference(transA, transB, alpha, A, B, beta, C, m, n, k, scale);
   else
-    gemm_blocked(transA, transB, alpha, A, B, beta, C, m, n, k);
+    gemm_blocked(transA, transB, alpha, A, B, beta, C, m, n, k, scale);
 }
 
-void syrk(bool transA, double alpha, const Matrix& A, double beta, Matrix& C) {
+void syrk_dispatch(bool transA, double alpha, const Matrix& A, double beta,
+                   Matrix& C, const double* scale) {
   const int m = transA ? A.cols() : A.rows();
   const int k = transA ? A.rows() : A.cols();
   if (C.rows() != m || C.cols() != m)
     throw std::invalid_argument("syrk: size mismatch");
   if (m == 0) return;
   if (backend() == Backend::kReference)
-    syrk_reference(transA, alpha, A, beta, C, m, k);
+    syrk_reference(transA, alpha, A, beta, C, m, k, scale);
   else
-    syrk_blocked(transA, alpha, A, beta, C, m, k);
+    syrk_blocked(transA, alpha, A, beta, C, m, k, scale);
+}
+
+}  // namespace
+
+void gemm(bool transA, bool transB, double alpha, const Matrix& A,
+          const Matrix& B, double beta, Matrix& C) {
+  gemm_dispatch(transA, transB, alpha, A, B, beta, C, nullptr);
+}
+
+void gemm_scaled(bool transA, bool transB, double alpha, const Matrix& A,
+                 const Vector& w, const Matrix& B, double beta, Matrix& C) {
+  const int k = transA ? A.rows() : A.cols();
+  if (static_cast<int>(w.size()) != k)
+    throw std::invalid_argument("gemm_scaled: weight size mismatch");
+  gemm_dispatch(transA, transB, alpha, A, B, beta, C, w.data());
+}
+
+void syrk(bool transA, double alpha, const Matrix& A, double beta, Matrix& C) {
+  syrk_dispatch(transA, alpha, A, beta, C, nullptr);
+}
+
+void syrk_scaled(bool transA, double alpha, const Matrix& A, const Vector& w,
+                 double beta, Matrix& C) {
+  const int k = transA ? A.rows() : A.cols();
+  if (static_cast<int>(w.size()) != k)
+    throw std::invalid_argument("syrk_scaled: weight size mismatch");
+  syrk_dispatch(transA, alpha, A, beta, C, w.data());
 }
 
 void ger(double alpha, const Vector& x, const Vector& y, Matrix& A) {

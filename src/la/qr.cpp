@@ -182,6 +182,201 @@ void qr_factor_blocked(Matrix& A, Vector& beta, Workspace& ws) {
   }
 }
 
+// --- TSQR scheme: row-block leaves + binary R-reduction tree ---
+
+// Row-block height of the TSQR split. Shape-only (no thread count, no env)
+// so the factorization is bitwise identical for every OMP_NUM_THREADS: the
+// tree structure is part of the result, not a scheduling detail. 2n keeps a
+// block's reflector chain within the panel's own cache footprint; the 128
+// floor keeps blocks from degenerating into tree overhead for tiny n.
+int tsqr_block_rows(int n) { return std::max(2 * n, 128); }
+
+// Number of row blocks for an m x n panel (1 = no split, serial leaf).
+int tsqr_nblocks(int m, int n) {
+  const int br = tsqr_block_rows(n);
+  return m >= 2 * br ? m / br : 1;
+}
+
+// Evenly distributed block row offsets (every block >= tsqr_block_rows >= n
+// rows by construction of tsqr_nblocks).
+void tsqr_offsets(int m, int nb, std::vector<int>& row0) {
+  row0.resize(static_cast<std::size_t>(nb) + 1);
+  const int base = m / nb;
+  const int rem = m % nb;
+  int r = 0;
+  for (int b = 0; b < nb; ++b) {
+    row0[static_cast<std::size_t>(b)] = r;
+    r += base + (b < rem ? 1 : 0);
+  }
+  row0[static_cast<std::size_t>(nb)] = m;
+}
+
+// Serial Householder factorization of the rows x n block at `a` (column
+// stride ld), reflectors scaled to unit diagonal, scalars into beta[0..n).
+void factor_block(double* a, int ld, int rows, int n, double* beta) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = a + static_cast<std::size_t>(j) * ld;
+    double norm = 0;
+    for (int i = j; i < rows; ++i) norm += cj[i] * cj[i];
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      beta[j] = 0.0;
+      continue;
+    }
+    const double alpha = cj[j] >= 0 ? -norm : norm;
+    const double v0 = cj[j] - alpha;
+    beta[j] = -v0 / alpha;
+    const double inv_v0 = 1.0 / v0;
+    for (int i = j + 1; i < rows; ++i) cj[i] *= inv_v0;
+    cj[j] = alpha;
+    for (int k = j + 1; k < n; ++k) {
+      double* ck = a + static_cast<std::size_t>(k) * ld;
+      double s = ck[j];
+      for (int i = j + 1; i < rows; ++i) s += cj[i] * ck[i];
+      s *= beta[j];
+      ck[j] -= s;
+      for (int i = j + 1; i < rows; ++i) ck[i] -= s * cj[i];
+    }
+  }
+}
+
+// Applies the reflectors of a factored block (a: rows x n, stride ld, unit
+// diagonals implicit) to c (rows x k, stride ldc): Q^T when `transpose`
+// (forward reflector order), Q otherwise (reverse order).
+void apply_block(const double* a, int ld, const double* beta, int rows, int n,
+                 double* c, int ldc, int k, bool transpose) {
+  for (int jj = 0; jj < n; ++jj) {
+    const int j = transpose ? jj : n - 1 - jj;
+    const double bj = beta[j];
+    if (bj == 0.0) continue;
+    const double* vj = a + static_cast<std::size_t>(j) * ld;
+    for (int col = 0; col < k; ++col) {
+      double* cc = c + static_cast<std::size_t>(col) * ldc;
+      double s = cc[j];
+      for (int i = j + 1; i < rows; ++i) s += vj[i] * cc[i];
+      s *= bj;
+      cc[j] -= s;
+      for (int i = j + 1; i < rows; ++i) cc[i] -= s * vj[i];
+    }
+  }
+}
+
+// Copies the upper triangle of the n x n block at `src` (stride lds) into
+// `dst` (stride ldd), zero-filling below the diagonal (tree nodes read the
+// full 2n x n stack, so stale subdiagonals must not leak through).
+void copy_r_block(const double* src, int lds, double* dst, int ldd, int n) {
+  for (int j = 0; j < n; ++j) {
+    const double* s = src + static_cast<std::size_t>(j) * lds;
+    double* d = dst + static_cast<std::size_t>(j) * ldd;
+    for (int i = 0; i <= j; ++i) d[i] = s[i];
+    for (int i = j + 1; i < n; ++i) d[i] = 0.0;
+  }
+}
+
+// Shared core of the full and R-only TSQR factorizations. With `f` null the
+// node factors are reduced through preallocated scratch and discarded.
+void tsqr_core(Matrix& A, Workspace& ws, TsqrFactor* f) {
+  const int m = A.rows();
+  const int n = A.cols();
+  if (m < n) throw std::invalid_argument("tsqr_factor: requires m >= n");
+  const int nb = tsqr_nblocks(std::max(m, 1), std::max(n, 1));
+  std::vector<int> local_row0;
+  std::vector<int>& row0 = f ? f->row0 : local_row0;
+  tsqr_offsets(m, nb, row0);
+  if (f) {
+    f->m = m;
+    f->n = n;
+    f->leaf_beta.resize(static_cast<std::size_t>(nb) * n);
+    f->tree.resize(2 * n, n * (nb - 1));
+    f->tree_beta.resize(static_cast<std::size_t>(n) * (nb - 1));
+    f->level_count.clear();
+    f->level_off.clear();
+  }
+  if (n == 0) return;
+  Vector& lbeta =
+      f ? f->leaf_beta
+        : ws.vec("qr.tsqr.lbeta", static_cast<std::size_t>(nb) * n);
+
+  // Leaf stage: factor every row block independently; R_b lands in the top
+  // n rows of its block, reflectors below the block-local diagonal.
+  double* Ad = A.data();
+  const int ld = m;
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (nb > 1))
+  for (int b = 0; b < nb; ++b)
+    factor_block(Ad + row0[static_cast<std::size_t>(b)], ld,
+                 row0[static_cast<std::size_t>(b) + 1] -
+                     row0[static_cast<std::size_t>(b)],
+                 n, lbeta.data() + static_cast<std::size_t>(b) * n);
+
+  // Stack the leaf Rs into ping-pong buffers and reduce pairs level by
+  // level. Writes go to the other buffer: pair p writes slot p while pair
+  // p' reads slots 2p', 2p'+1, which alias in place once p >= 1.
+  Matrix& S0 = ws.mat("qr.tsqr.S0", nb * n, n);
+  Matrix& S1 = ws.mat("qr.tsqr.S1", ((nb + 1) / 2) * n, n);
+  for (int b = 0; b < nb; ++b)
+    copy_r_block(Ad + row0[static_cast<std::size_t>(b)], ld,
+                 S0.data() + static_cast<std::size_t>(b) * n, S0.rows(), n);
+  Matrix* nodebuf = nullptr;
+  Vector* nbeta = nullptr;
+  if (!f && nb > 1) {
+    nodebuf = &ws.mat("qr.tsqr.node", 2 * n, n * (nb / 2));
+    nbeta = &ws.vec("qr.tsqr.nbeta", static_cast<std::size_t>(n) * (nb / 2));
+  }
+
+  int c = nb;
+  int node = 0;
+  Matrix* src = &S0;
+  Matrix* dst = &S1;
+  while (c > 1) {
+    const int pairs = c / 2;
+    if (f) {
+      f->level_count.push_back(c);
+      f->level_off.push_back(node);
+    }
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (pairs > 1))
+    for (int p = 0; p < pairs; ++p) {
+      double* nd;
+      double* nbp;
+      if (f) {
+        nd = f->tree.data() +
+             static_cast<std::size_t>(node + p) * n * (2 * n);
+        nbp = f->tree_beta.data() + static_cast<std::size_t>(node + p) * n;
+      } else {
+        nd = nodebuf->data() + static_cast<std::size_t>(p) * n * (2 * n);
+        nbp = nbeta->data() + static_cast<std::size_t>(p) * n;
+      }
+      // Stack [R_2p; R_2p+1] (2n x n, contiguous), factor, write R to slot p.
+      const int lds = src->rows();
+      for (int j = 0; j < n; ++j) {
+        const double* s = src->data() + static_cast<std::size_t>(j) * lds;
+        double* d = nd + static_cast<std::size_t>(j) * (2 * n);
+        for (int i = 0; i < n; ++i) d[i] = s[2 * p * n + i];
+        for (int i = 0; i < n; ++i) d[n + i] = s[(2 * p + 1) * n + i];
+      }
+      factor_block(nd, 2 * n, 2 * n, n, nbp);
+      copy_r_block(nd, 2 * n, dst->data() + static_cast<std::size_t>(p) * n,
+                   dst->rows(), n);
+    }
+    if (c & 1) {  // odd leftover passes through to the next level
+      copy_r_block(src->data() + static_cast<std::size_t>(c - 1) * n,
+                   src->rows(),
+                   dst->data() + static_cast<std::size_t>(pairs) * n,
+                   dst->rows(), n);
+    }
+    node += pairs;
+    c = pairs + (c & 1);
+    std::swap(src, dst);
+  }
+
+  // Final R into the top of A — upper triangle only, so the leaf-0
+  // reflectors below the diagonal stay intact for apply-Q.
+  for (int j = 0; j < n; ++j) {
+    const double* s = src->data() + static_cast<std::size_t>(j) * src->rows();
+    double* d = Ad + static_cast<std::size_t>(j) * ld;
+    for (int i = 0; i <= j; ++i) d[i] = s[i];
+  }
+}
+
 // Reference application of a single reflector j to every column of C.
 void apply_reflector_reference(const Matrix& qr, const Vector& beta, int j,
                                Matrix& C) {
@@ -231,6 +426,205 @@ void apply_q_or_qt(const Matrix& qr, const Vector& beta, Matrix& C,
 }
 
 }  // namespace
+
+bool tsqr_selected(QrScheme s, int m, int n) {
+  if (s == QrScheme::kAuto) s = default_qr_scheme();
+  if (s == QrScheme::kBlocked) return false;
+  if (n < 1 || m < n) return false;
+  const bool splits = tsqr_nblocks(m, n) >= 2;
+  if (s == QrScheme::kTsqr) return splits;
+  return splits && m >= 8 * n;  // kAuto heuristic
+}
+
+void tsqr_factor_in_place(Matrix& A, TsqrFactor& f, Workspace* ws) {
+  Workspace local;
+  tsqr_core(A, ws ? *ws : local, &f);
+}
+
+void tsqr_factor_r_in_place(Matrix& A, Workspace* ws) {
+  Workspace local;
+  tsqr_core(A, ws ? *ws : local, nullptr);
+}
+
+void tsqr_apply_qt(const Matrix& A, const TsqrFactor& f, const Matrix& C,
+                   Matrix& Y, Workspace* ws) {
+  const int m = f.m;
+  const int n = f.n;
+  const int nb = f.nblocks();
+  if (A.rows() != m || A.cols() != n)
+    throw std::invalid_argument("tsqr_apply_qt: factor/matrix mismatch");
+  if (C.rows() != m) throw std::invalid_argument("tsqr_apply_qt: C rows");
+  const int k = C.cols();
+  Y.resize(n, k);
+  if (n == 0 || k == 0) return;
+  Workspace local;
+  Workspace& arena = ws ? *ws : local;
+
+  // Leaf stage on a scratch copy of C (C stays const); the top n rows of
+  // each block feed the tree.
+  Matrix& W = arena.mat("qr.tsqr.aW", m, k);
+  W = C;
+  const double* Ad = A.data();
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (nb > 1))
+  for (int b = 0; b < nb; ++b)
+    apply_block(Ad + f.row0[static_cast<std::size_t>(b)], m,
+                f.leaf_beta.data() + static_cast<std::size_t>(b) * n,
+                f.row0[static_cast<std::size_t>(b) + 1] -
+                    f.row0[static_cast<std::size_t>(b)],
+                n, W.data() + f.row0[static_cast<std::size_t>(b)], m, k,
+                /*transpose=*/true);
+
+  Matrix& S0 = arena.mat("qr.tsqr.aS0", nb * n, k);
+  Matrix& S1 = arena.mat("qr.tsqr.aS1", ((nb + 1) / 2) * n, k);
+  for (int b = 0; b < nb; ++b)
+    for (int j = 0; j < k; ++j) {
+      const double* s = W.data() + static_cast<std::size_t>(j) * m +
+                        f.row0[static_cast<std::size_t>(b)];
+      double* d = S0.data() + static_cast<std::size_t>(j) * S0.rows() +
+                  static_cast<std::size_t>(b) * n;
+      for (int i = 0; i < n; ++i) d[i] = s[i];
+    }
+
+  Matrix* zbuf = nullptr;
+  if (nb > 1) zbuf = &arena.mat("qr.tsqr.aZ", 2 * n, k * (nb / 2));
+  Matrix* src = &S0;
+  Matrix* dst = &S1;
+  for (std::size_t l = 0; l < f.level_count.size(); ++l) {
+    const int c = f.level_count[l];
+    const int pairs = c / 2;
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (pairs > 1))
+    for (int p = 0; p < pairs; ++p) {
+      const double* nd =
+          f.tree.data() +
+          static_cast<std::size_t>(f.level_off[l] + p) * n * (2 * n);
+      const double* nbp =
+          f.tree_beta.data() + static_cast<std::size_t>(f.level_off[l] + p) * n;
+      double* z = zbuf->data() + static_cast<std::size_t>(p) * k * (2 * n);
+      const int lds = src->rows();
+      for (int j = 0; j < k; ++j) {
+        const double* s = src->data() + static_cast<std::size_t>(j) * lds;
+        double* zj = z + static_cast<std::size_t>(j) * (2 * n);
+        for (int i = 0; i < n; ++i) zj[i] = s[2 * p * n + i];
+        for (int i = 0; i < n; ++i) zj[n + i] = s[(2 * p + 1) * n + i];
+      }
+      apply_block(nd, 2 * n, nbp, 2 * n, n, z, 2 * n, k, /*transpose=*/true);
+      const int ldd = dst->rows();
+      for (int j = 0; j < k; ++j) {
+        const double* zj = z + static_cast<std::size_t>(j) * (2 * n);
+        double* d = dst->data() + static_cast<std::size_t>(j) * ldd +
+                    static_cast<std::size_t>(p) * n;
+        for (int i = 0; i < n; ++i) d[i] = zj[i];
+      }
+    }
+    if (c & 1) {
+      for (int j = 0; j < k; ++j) {
+        const double* s = src->data() + static_cast<std::size_t>(j) * src->rows() +
+                          static_cast<std::size_t>(c - 1) * n;
+        double* d = dst->data() + static_cast<std::size_t>(j) * dst->rows() +
+                    static_cast<std::size_t>(pairs) * n;
+        for (int i = 0; i < n; ++i) d[i] = s[i];
+      }
+    }
+    std::swap(src, dst);
+  }
+  for (int j = 0; j < k; ++j) {
+    const double* s = src->data() + static_cast<std::size_t>(j) * src->rows();
+    double* d = Y.data() + static_cast<std::size_t>(j) * n;
+    for (int i = 0; i < n; ++i) d[i] = s[i];
+  }
+}
+
+void tsqr_apply_q(const Matrix& A, const TsqrFactor& f, const Matrix& Yin,
+                  Matrix& C, Workspace* ws) {
+  const int m = f.m;
+  const int n = f.n;
+  const int nb = f.nblocks();
+  if (A.rows() != m || A.cols() != n)
+    throw std::invalid_argument("tsqr_apply_q: factor/matrix mismatch");
+  if (Yin.rows() != n) throw std::invalid_argument("tsqr_apply_q: Y rows");
+  const int k = Yin.cols();
+  C.resize(m, k);
+  if (k == 0) return;
+  if (n == 0) {
+    C.fill(0.0);
+    return;
+  }
+  Workspace local;
+  Workspace& arena = ws ? *ws : local;
+
+  // Walk the tree top-down, expanding each node's coefficients into its two
+  // children; the leaf stage then expands each block's n coefficients into
+  // the block's rows of C.
+  Matrix& S0 = arena.mat("qr.tsqr.aS0", nb * n, k);
+  Matrix& S1 = arena.mat("qr.tsqr.aS1", ((nb + 1) / 2) * n, k);
+  Matrix* src = (f.level_count.size() % 2 == 0) ? &S0 : &S1;
+  Matrix* dst = nullptr;
+  for (int j = 0; j < k; ++j) {
+    const double* s = Yin.data() + static_cast<std::size_t>(j) * n;
+    double* d = src->data() + static_cast<std::size_t>(j) * src->rows();
+    for (int i = 0; i < n; ++i) d[i] = s[i];
+  }
+  Matrix* zbuf = nullptr;
+  if (nb > 1) zbuf = &arena.mat("qr.tsqr.aZ", 2 * n, k * (nb / 2));
+  for (std::size_t li = f.level_count.size(); li-- > 0;) {
+    const int c = f.level_count[li];
+    const int pairs = c / 2;
+    dst = (src == &S0) ? &S1 : &S0;
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (pairs > 1))
+    for (int p = 0; p < pairs; ++p) {
+      const double* nd =
+          f.tree.data() +
+          static_cast<std::size_t>(f.level_off[li] + p) * n * (2 * n);
+      const double* nbp =
+          f.tree_beta.data() +
+          static_cast<std::size_t>(f.level_off[li] + p) * n;
+      double* z = zbuf->data() + static_cast<std::size_t>(p) * k * (2 * n);
+      const int lds = src->rows();
+      for (int j = 0; j < k; ++j) {
+        const double* s = src->data() + static_cast<std::size_t>(j) * lds +
+                          static_cast<std::size_t>(p) * n;
+        double* zj = z + static_cast<std::size_t>(j) * (2 * n);
+        for (int i = 0; i < n; ++i) zj[i] = s[i];
+        for (int i = 0; i < n; ++i) zj[n + i] = 0.0;
+      }
+      apply_block(nd, 2 * n, nbp, 2 * n, n, z, 2 * n, k, /*transpose=*/false);
+      const int ldd = dst->rows();
+      for (int j = 0; j < k; ++j) {
+        const double* zj = z + static_cast<std::size_t>(j) * (2 * n);
+        double* d = dst->data() + static_cast<std::size_t>(j) * ldd;
+        for (int i = 0; i < n; ++i) d[2 * p * n + i] = zj[i];
+        for (int i = 0; i < n; ++i) d[(2 * p + 1) * n + i] = zj[n + i];
+      }
+    }
+    if (c & 1) {
+      for (int j = 0; j < k; ++j) {
+        const double* s = src->data() + static_cast<std::size_t>(j) * src->rows() +
+                          static_cast<std::size_t>(pairs) * n;
+        double* d = dst->data() + static_cast<std::size_t>(j) * dst->rows() +
+                    static_cast<std::size_t>(c - 1) * n;
+        for (int i = 0; i < n; ++i) d[i] = s[i];
+      }
+    }
+    src = dst;
+  }
+
+  const double* Ad = A.data();
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static) if (nb > 1))
+  for (int b = 0; b < nb; ++b) {
+    const int r0 = f.row0[static_cast<std::size_t>(b)];
+    const int rows = f.row0[static_cast<std::size_t>(b) + 1] - r0;
+    for (int j = 0; j < k; ++j) {
+      const double* s = src->data() + static_cast<std::size_t>(j) * src->rows() +
+                        static_cast<std::size_t>(b) * n;
+      double* d = C.data() + static_cast<std::size_t>(j) * m + r0;
+      for (int i = 0; i < n; ++i) d[i] = s[i];
+      for (int i = n; i < rows; ++i) d[i] = 0.0;
+    }
+    apply_block(Ad + r0, m,
+                f.leaf_beta.data() + static_cast<std::size_t>(b) * n, rows, n,
+                C.data() + r0, m, k, /*transpose=*/false);
+  }
+}
 
 void qr_factor_in_place(Matrix& A, Vector& beta, Workspace* ws) {
   const int m = A.rows();
@@ -342,6 +736,15 @@ Matrix least_squares(const Matrix& A, const Matrix& B) {
   if (B.rows() != A.rows())
     throw std::invalid_argument("least_squares: size mismatch");
   Workspace ws;
+  if (tsqr_selected(QrScheme::kAuto, A.rows(), A.cols())) {
+    Matrix QR = A;
+    TsqrFactor f;
+    tsqr_factor_in_place(QR, f, &ws);
+    Matrix X;
+    tsqr_apply_qt(QR, f, B, X, &ws);
+    r_solve_in_place(QR, X);
+    return X;
+  }
   Matrix QR = A;
   Vector beta;
   qr_factor_in_place(QR, beta, &ws);

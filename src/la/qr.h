@@ -14,6 +14,17 @@
 // Scratch for the blocked path is drawn from a caller-supplied la::Workspace
 // (keys "qr.*") so repeated factorizations are allocation-free in steady
 // state; a local arena is used when none is given.
+//
+// For the tall-skinny panels of the image-scale analysis (m >> n), a second
+// *scheme* is available on top of the backend split: communication-avoiding
+// TSQR (tsqr_factor_in_place below). The panel is cut into row blocks, each
+// factored independently (OpenMP across blocks), and the stacked n x n R
+// factors are reduced pairwise in a binary tree; apply-Q / apply-Q^T are
+// reconstructed from the stored leaf and tree reflectors. Selection is
+// runtime: WFIRE_QR_SCHEME=tsqr|blocked (see la/backend.h), with the kAuto
+// default picking tsqr once m >= 8 n and the split yields >= 2 blocks. The
+// blocking depends only on the shape, so results are identical for every
+// thread count.
 #pragma once
 
 #include "la/backend.h"
@@ -70,5 +81,53 @@ void rt_solve_in_place(const Matrix& qr, Matrix& B);  // R^T X = B
 
 // Extracts the n x n upper-triangular R.
 [[nodiscard]] Matrix economy_r(const QrFactor& f);
+
+// --- TSQR: communication-avoiding tall-skinny QR ---
+
+// Resolves scheme `s` for an m x n panel: true iff the TSQR path would be
+// used (kBlocked never; kTsqr whenever the row-block split is feasible, i.e.
+// m >= n and at least two blocks; kAuto additionally requires m >= 8 n).
+[[nodiscard]] bool tsqr_selected(QrScheme s, int m, int n);
+
+// TSQR factor bookkeeping. The leaf reflectors stay inside the factored
+// matrix itself (below each row block's local diagonal — the caller keeps
+// that matrix to apply Q); this struct records the block layout, the leaf
+// Householder scalars, and the packed 2n x n reduction-tree node factors.
+// Reusing one TsqrFactor across factorizations is allocation-free once warm
+// (Matrix/Vector resize retains capacity).
+struct TsqrFactor {
+  int m = 0, n = 0;
+  std::vector<int> row0;         // nblocks + 1 row offsets of the blocks
+  Vector leaf_beta;              // nblocks * n Householder scalars
+  Matrix tree;                   // 2n x (n * nnodes) packed node factors
+  Vector tree_beta;              // n scalars per node
+  std::vector<int> level_count;  // R count entering each reduction level
+  std::vector<int> level_off;    // first node index of each level
+  [[nodiscard]] int nblocks() const {
+    return static_cast<int>(row0.size()) - 1;
+  }
+};
+
+// Factors A (m x n, m >= n) with the TSQR scheme: on return the leading
+// n x n upper triangle of A is R, the leaf reflectors sit below each block
+// diagonal of A, and `f` holds the reduction tree. A degenerate split into
+// one block (panel too short) reduces to a serial factorization with an
+// empty tree. Scratch from `ws` (keys "qr.tsqr.*").
+void tsqr_factor_in_place(Matrix& A, TsqrFactor& f, Workspace* ws = nullptr);
+
+// R-only variant for square-root consumers (the EnKF analysis reads just
+// the triangle via r/rt_solve_in_place): same R in the top of A, but all
+// reflector bookkeeping stays in `ws` scratch — with a warm workspace the
+// factorization allocates nothing.
+void tsqr_factor_r_in_place(Matrix& A, Workspace* ws = nullptr);
+
+// Economy applications through the stored block reflectors. `A` must be the
+// matrix factored by tsqr_factor_in_place (it holds the leaf reflectors).
+//   Y (n x k) <- Q^T C  with C m x k (economy Q; C is not modified);
+//   C (m x k) <- Q Y    with Y n x k.
+void tsqr_apply_qt(const Matrix& A, const TsqrFactor& f, const Matrix& C,
+                   Matrix& Y, Workspace* ws = nullptr);
+void tsqr_apply_q(const Matrix& A, const TsqrFactor& f, const Matrix& Y,
+                  Matrix& C, Workspace* ws = nullptr);
 
 }  // namespace wfire::la

@@ -10,10 +10,19 @@
 // la_backend_test.cpp. Every case logs its index and derived seed, so a
 // failure reproduces by construction (the master seeds below are fixed).
 //
+// The TSQR scheme and the fused-scaling kernels (PR 5) are pinned here too:
+//   - tsqr vs blocked vs reference R agreement (row signs normalized) and
+//     apply-Q/Q^T round trips over the same generator,
+//   - gemm_scaled / syrk_scaled vs explicitly materialized diagonal
+//     scalings, and
+//   - EnKF increments per scheme (tsqr and blocked, both backends) vs the
+//     svd reference <= 1e-8.
+//
 // The PackedPanelRegression case at the bottom reproduces the PR 3 bug
 // class (thread_local packed-panel buffers read as empty by OMP workers);
 // tests/CMakeLists.txt runs it again under OMP_NUM_THREADS=4 so single-core
-// containers cannot hide the race.
+// containers cannot hide the race. TsqrTreeRegression gets the same
+// treatment for the TSQR row-block reduction tree.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -41,6 +50,27 @@ namespace {
 double rel_err(const Matrix& got, const Matrix& want) {
   const double scale = std::max(frobenius_norm(want), 1.0);
   return max_abs_diff(got, want) / scale;
+}
+
+// Extracts the n x n upper triangle from the top of a factored panel
+// (blocked/reference packed form and the TSQR in-place form both leave R
+// there), zeros below.
+Matrix top_r(const Matrix& A) {
+  const int n = A.cols();
+  Matrix R(n, n, 0.0);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) R(i, j) = A(i, j);
+  return R;
+}
+
+// QR factors are unique only up to the sign of each R row (the matching
+// column of Q); the TSQR reduction tree picks different signs than the
+// single Householder chain, so agreement is checked on the normalized form
+// with every diagonal made non-negative.
+void normalize_r_signs(Matrix& R) {
+  for (int i = 0; i < R.rows(); ++i)
+    if (R(i, i) < 0)
+      for (int j = i; j < R.cols(); ++j) R(i, j) = -R(i, j);
 }
 
 // Seeded generator of stress shapes and matrix contents. Categories mirror
@@ -317,6 +347,182 @@ TEST(PropertyQr, ApplyQtAndTriangularSolvesRoundTrip) {
   }
 }
 
+TEST(PropertyTsqr, RAgreesWithBlockedAndReference) {
+  // The TSQR reduction tree must produce the same R (up to row signs) as
+  // the blocked compact-WY chain and the serial reference, across tall
+  // full-rank shapes including block-straddling row counts (the 128-row
+  // leaf split) and odd block counts (the pass-through tree edge).
+  CaseGen gen(0x75A21D0ULL);
+  for (int c = 0; c < 24; ++c) {
+    const int nb = gen.block();
+    const int n = gen.skinny();
+    // Mix generic tall shapes with ones straddling the leaf split: exact
+    // multiples of the 128-row block +/- 1, and odd block counts.
+    int m;
+    switch (c % 3) {
+      case 0:
+        m = gen.tall();
+        break;
+      case 1:
+        m = 128 * (2 + static_cast<int>(gen.rng().uniform_int(6))) +
+            static_cast<int>(gen.rng().uniform_int(3)) - 1;
+        break;
+      default:
+        m = 128 * (3 + 2 * static_cast<int>(gen.rng().uniform_int(3)));
+        break;
+    }
+    m = std::max(m, n);
+    const Matrix A = gen.dense(m, n);
+    Matrix qr_ref = A, qr_blk = A, qr_tsqr = A;
+    Vector beta_ref, beta_blk;
+    Workspace ws;
+    TsqrFactor f;
+    {
+      ScopedBackend ref(Backend::kReference);
+      qr_factor_in_place(qr_ref, beta_ref);
+    }
+    {
+      ScopedBackend blk(Backend::kBlocked, nb);
+      qr_factor_in_place(qr_blk, beta_blk, &ws);
+      tsqr_factor_in_place(qr_tsqr, f, &ws);
+    }
+    Matrix R_ref = top_r(qr_ref), R_blk = top_r(qr_blk),
+           R_tsqr = top_r(qr_tsqr);
+    normalize_r_signs(R_ref);
+    normalize_r_signs(R_blk);
+    normalize_r_signs(R_tsqr);
+    ASSERT_LE(rel_err(R_tsqr, R_ref), 1e-10)
+        << "case " << c << ": " << m << "x" << n << " tsqr vs reference";
+    ASSERT_LE(rel_err(R_tsqr, R_blk), 1e-10)
+        << "case " << c << ": " << m << "x" << n << " tsqr vs blocked";
+
+    // R-only variant: identical triangle from the workspace-resident path.
+    Matrix qr_ronly = A;
+    tsqr_factor_r_in_place(qr_ronly, &ws);
+    Matrix R_ronly = top_r(qr_ronly);
+    normalize_r_signs(R_ronly);
+    ASSERT_LE(rel_err(R_ronly, R_tsqr), 1e-10) << "case " << c << " r-only";
+  }
+}
+
+TEST(PropertyTsqr, AppliesReconstructAndRoundTrip) {
+  // Q reconstructed from the stored leaf/tree reflectors must satisfy the
+  // defining properties — Q R = A and Q^T Q = I — including on
+  // rank-deficient inputs, where R's row signs (and the reflector
+  // directions) are arbitrary but the products are not.
+  CaseGen gen(0x7509AB31ULL);
+  for (int c = 0; c < 16; ++c) {
+    const int n = 2 + static_cast<int>(gen.rng().uniform_int(24));
+    const int m = n + static_cast<int>(gen.rng().uniform_int(900));
+    const int k = 1 + static_cast<int>(gen.rng().uniform_int(12));
+    const Matrix A = c % 4 == 3 ? gen.deficient(m, n) : gen.dense(m, n);
+    Workspace ws;
+    Matrix QR = A;
+    TsqrFactor f;
+    tsqr_factor_in_place(QR, f, &ws);
+
+    // Q R = A.
+    Matrix QRprod;
+    tsqr_apply_q(QR, f, top_r(QR), QRprod, &ws);
+    ASSERT_LE(rel_err(QRprod, A), 1e-10)
+        << "case " << c << ": " << m << "x" << n << " QR = A";
+
+    // Q^T A = R (economy).
+    Matrix Y;
+    tsqr_apply_qt(QR, f, A, Y, &ws);
+    ASSERT_LE(rel_err(Y, top_r(QR)), 1e-10) << "case " << c << " Q^T A = R";
+
+    // Q^T (Q Z) = Z for arbitrary coefficients: orthonormality of the
+    // reconstructed economy Q.
+    const Matrix Z = gen.dense(n, k);
+    Matrix C;
+    tsqr_apply_q(QR, f, Z, C, &ws);
+    Matrix Z2;
+    tsqr_apply_qt(QR, f, C, Z2, &ws);
+    ASSERT_LE(rel_err(Z2, Z), 1e-10) << "case " << c << " round trip";
+  }
+}
+
+TEST(PropertyGemmScaled, MatchesMaterializedScaling) {
+  // gemm_scaled must equal the plain gemm on an explicitly scaled operand
+  // (diag(w) folded into op(B)'s contraction dimension), on both backends.
+  CaseGen gen(0x5CA1EDULL);
+  for (int c = 0; c < 24; ++c) {
+    const int nb = gen.block();
+    const int m = gen.dim(nb), n = gen.dim(nb), k = gen.dim(nb);
+    const bool tA = gen.coin(), tB = gen.coin();
+    const double alpha = gen.scalar();
+    const double beta = gen.coin() ? gen.scalar() : 0.0;
+    const Matrix A = gen.dense(tA ? k : m, tA ? m : k);
+    const Matrix B = gen.dense(tB ? n : k, tB ? k : n);
+    Vector w(static_cast<std::size_t>(k));
+    for (int p = 0; p < k; ++p) w[p] = gen.rng().uniform(0.1, 3.0);
+    // Materialize diag(w) op(B): scale row p of op(B), i.e. row p of B or
+    // column p of B under transpose.
+    Matrix Bs = B;
+    if (!tB)
+      for (int j = 0; j < B.cols(); ++j)
+        for (int p = 0; p < k; ++p) Bs(p, j) *= w[p];
+    else
+      for (int p = 0; p < k; ++p)
+        for (int j = 0; j < B.rows(); ++j) Bs(j, p) *= w[p];
+    Matrix C0 = gen.dense(m, n);
+    Matrix C1 = C0;
+    Matrix C2 = C0;
+    {
+      ScopedBackend ref(Backend::kReference);
+      gemm(tA, tB, alpha, A, Bs, beta, C0);
+      gemm_scaled(tA, tB, alpha, A, w, B, beta, C1);
+    }
+    ASSERT_LE(rel_err(C1, C0), 1e-10)
+        << "case " << c << " reference backend";
+    {
+      ScopedBackend blk(Backend::kBlocked, nb);
+      gemm_scaled(tA, tB, alpha, A, w, B, beta, C2);
+    }
+    ASSERT_LE(rel_err(C2, C0), 1e-10)
+        << "case " << c << ": " << m << "x" << n << "x" << k << " tA " << tA
+        << " tB " << tB << " nb " << nb;
+  }
+}
+
+TEST(PropertySyrkScaled, MatchesMaterializedScaling) {
+  CaseGen gen(0x5E1F5CA1EULL);
+  for (int c = 0; c < 20; ++c) {
+    const int nb = gen.block();
+    const int m = gen.dim(nb), k = gen.dim(nb);
+    const bool tA = gen.coin();
+    const double alpha = gen.scalar();
+    const Matrix A = gen.dense(tA ? k : m, tA ? m : k);
+    Vector w(static_cast<std::size_t>(k));
+    for (int p = 0; p < k; ++p) w[p] = gen.rng().uniform(0.1, 3.0);
+    // op(A) diag(w) op(A)^T as a gemm against the materialized scaling.
+    Matrix As = A;
+    if (tA)
+      for (int p = 0; p < k; ++p)
+        for (int j = 0; j < A.cols(); ++j) As(p, j) *= w[p];
+    else
+      for (int j = 0; j < A.cols(); ++j)
+        for (int i = 0; i < A.rows(); ++i) As(i, j) *= w[j];
+    Matrix C0(m, m), C1(m, m), C2(m, m);
+    {
+      ScopedBackend ref(Backend::kReference);
+      gemm(tA, !tA, alpha, A, As, 0.0, C0);
+      syrk_scaled(tA, alpha, A, w, 0.0, C1);
+    }
+    ASSERT_LE(rel_err(C1, C0), 1e-10) << "case " << c << " reference";
+    {
+      ScopedBackend blk(Backend::kBlocked, nb);
+      syrk_scaled(tA, alpha, A, w, 0.0, C2);
+    }
+    ASSERT_LE(rel_err(C2, C0), 1e-10)
+        << "case " << c << ": m " << m << " k " << k << " tA " << tA << " nb "
+        << nb;
+    for (int j = 0; j < m; ++j)
+      for (int i = 0; i < j; ++i) ASSERT_EQ(C2(i, j), C2(j, i));
+  }
+}
+
 TEST(PropertyEnkf, QrAndSvdAnalysisIncrementsAgree) {
   // End-to-end pin of the tentpole: the QR square-root ensemble-space
   // analysis must match the SVD path on the same problem (same innovation
@@ -358,12 +564,6 @@ TEST(PropertyEnkf, QrAndSvdAnalysisIncrementsAgree) {
       opt.path = SolverPath::kEnsembleSpace;
       const std::uint64_t rng_seed = 1000 + c;
 
-      Matrix Xq = X;
-      opt.factorization = Factorization::kQr;
-      Rng rq(rng_seed);
-      const auto sq = wfire::enkf::enkf_analysis(Xq, HX, d, r_std, rq, opt);
-      EXPECT_EQ(sq.factorization_used, Factorization::kQr);
-
       Matrix Xs = X;
       opt.factorization = Factorization::kSvd;
       Rng rs(rng_seed);
@@ -375,9 +575,31 @@ TEST(PropertyEnkf, QrAndSvdAnalysisIncrementsAgree) {
       for (int k = 0; k < N; ++k)
         for (int i = 0; i < n; ++i) inc(i, k) = Xs(i, k) - X(i, k);
       const double scale = std::max(frobenius_norm(inc), 1e-12);
-      ASSERT_LE(max_abs_diff(Xq, Xs) / scale, 1e-8)
-          << "case " << c << ": n " << n << " m " << m << " N " << N
-          << " backend " << (be == Backend::kBlocked ? "blocked" : "reference");
+
+      // Both panel schemes of the qr square-root path must match the svd
+      // reference (same innovation draws) — and must report the scheme
+      // they actually ran, with kTsqr honored whenever the stacked panel
+      // splits into row blocks.
+      for (const QrScheme scheme : {QrScheme::kBlocked, QrScheme::kTsqr}) {
+        Matrix Xq = X;
+        opt.factorization = Factorization::kQr;
+        opt.qr_scheme = scheme;
+        Rng rq(rng_seed);
+        const auto sq = wfire::enkf::enkf_analysis(Xq, HX, d, r_std, rq, opt);
+        EXPECT_EQ(sq.factorization_used, Factorization::kQr);
+        const int rdim = std::min(m, N);
+        const bool want_tsqr =
+            scheme == QrScheme::kTsqr && tsqr_selected(scheme, m + N, rdim);
+        EXPECT_EQ(sq.qr_scheme_used,
+                  want_tsqr ? QrScheme::kTsqr : QrScheme::kBlocked)
+            << "case " << c << " scheme resolution";
+        ASSERT_LE(max_abs_diff(Xq, Xs) / scale, 1e-8)
+            << "case " << c << ": n " << n << " m " << m << " N " << N
+            << " backend "
+            << (be == Backend::kBlocked ? "blocked" : "reference")
+            << " scheme "
+            << (scheme == QrScheme::kTsqr ? "tsqr" : "blocked");
+      }
     }
   }
 }
@@ -431,4 +653,103 @@ TEST(PackedPanelRegression, BlockedKernelsWithTilesSmallerThanPanels) {
   Workspace ws;
   qr_factor_in_place(Q1, b1, &ws);
   ASSERT_LE(rel_err(Q1, Q0), 1e-10) << "qr";
+}
+
+// Regression for the TSQR row-block reduction tree under real OpenMP
+// concurrency (the PR 3/PR 4 bug class: worker-visible state that a 1-core
+// container cannot distinguish from correct). The leaf stage and every tree
+// level run `omp parallel for` over blocks/pairs; shapes are chosen so the
+// tree has several levels *and* odd pass-through nodes, and the whole
+// factor-apply pipeline plus an end-to-end tsqr-scheme analysis are checked
+// against serial ground truth. tests/CMakeLists.txt re-runs this suite with
+// OMP_NUM_THREADS=4.
+TEST(TsqrTreeRegression, RowBlockTreeWithFourThreads) {
+  Rng rng(0x7C4EEULL);
+  // 11 blocks of 128 rows (odd count at multiple levels: 11 -> 6 -> 3 -> 2
+  // -> 1) with a ragged last block.
+  const int m = 128 * 11 + 37, n = 24, k = 9;
+  const Matrix A = Matrix::random_normal(m, n, rng);
+  Matrix qr_ref = A, qr_tsqr = A;
+  Vector beta_ref;
+  {
+    ScopedBackend ref(Backend::kReference);
+    qr_factor_in_place(qr_ref, beta_ref);
+  }
+  Workspace ws;
+  TsqrFactor f;
+  tsqr_factor_in_place(qr_tsqr, f, &ws);
+  ASSERT_GE(f.nblocks(), 11);
+  Matrix R_ref = top_r(qr_ref), R_tsqr = top_r(qr_tsqr);
+  normalize_r_signs(R_ref);
+  normalize_r_signs(R_tsqr);
+  ASSERT_LE(rel_err(R_tsqr, R_ref), 1e-10) << "tree R";
+
+  // Apply pipeline under the same thread count.
+  Matrix QRprod;
+  tsqr_apply_q(qr_tsqr, f, top_r(qr_tsqr), QRprod, &ws);
+  ASSERT_LE(rel_err(QRprod, A), 1e-10) << "QR = A";
+  const Matrix Z = Matrix::random_normal(n, k, rng);
+  Matrix C, Z2;
+  tsqr_apply_q(qr_tsqr, f, Z, C, &ws);
+  tsqr_apply_qt(qr_tsqr, f, C, Z2, &ws);
+  ASSERT_LE(rel_err(Z2, Z), 1e-10) << "round trip";
+
+  // End-to-end: a forced-tsqr ensemble-space analysis against the blocked
+  // scheme on the same draws (the tree feeds the triangular solves).
+  const int nstate = 96, N = 16, mobs = 1500;
+  Matrix X(nstate, N), HX(mobs, N);
+  for (int c = 0; c < N; ++c) {
+    for (int i = 0; i < nstate; ++i) X(i, c) = rng.normal();
+    for (int i = 0; i < mobs; ++i)
+      HX(i, c) = X(i % nstate, c) + 0.1 * rng.normal();
+  }
+  Vector d(static_cast<std::size_t>(mobs)), r_std(static_cast<std::size_t>(mobs));
+  for (int i = 0; i < mobs; ++i) {
+    d[i] = rng.normal();
+    r_std[i] = 0.7;
+  }
+  EnKFOptions opt;
+  opt.path = SolverPath::kEnsembleSpace;
+  opt.factorization = Factorization::kQr;
+  opt.qr_scheme = QrScheme::kTsqr;
+  Matrix Xt = X;
+  Rng r1(77);
+  const auto st = wfire::enkf::enkf_analysis(Xt, HX, d, r_std, r1, opt);
+  EXPECT_EQ(st.qr_scheme_used, QrScheme::kTsqr);
+  opt.qr_scheme = QrScheme::kBlocked;
+  Matrix Xb = X;
+  Rng r2(77);
+  const auto sb = wfire::enkf::enkf_analysis(Xb, HX, d, r_std, r2, opt);
+  EXPECT_EQ(sb.qr_scheme_used, QrScheme::kBlocked);
+  Matrix inc(nstate, N);
+  for (int c = 0; c < N; ++c)
+    for (int i = 0; i < nstate; ++i) inc(i, c) = Xb(i, c) - X(i, c);
+  const double scale = std::max(frobenius_norm(inc), 1e-12);
+  ASSERT_LE(max_abs_diff(Xt, Xb) / scale, 1e-8) << "tsqr vs blocked analysis";
+}
+
+TEST(TsqrScheme, ProcessDefaultDrivesAutoResolution) {
+  // EnKFOptions::kAuto follows the process default (itself WFIRE_QR_SCHEME
+  // at startup): forcing it via ScopedQrScheme must flip the scheme the
+  // analysis resolves, without touching the options.
+  Rng rng(0x5C4E3EULL);
+  const int nstate = 40, N = 8, mobs = 700;
+  Matrix X(nstate, N), HX(mobs, N);
+  for (int c = 0; c < N; ++c) {
+    for (int i = 0; i < nstate; ++i) X(i, c) = rng.normal();
+    for (int i = 0; i < mobs; ++i)
+      HX(i, c) = X(i % nstate, c) + 0.1 * rng.normal();
+  }
+  Vector d(static_cast<std::size_t>(mobs), 0.5);
+  Vector r_std(static_cast<std::size_t>(mobs), 0.8);
+  EnKFOptions opt;
+  opt.path = SolverPath::kEnsembleSpace;
+  opt.factorization = Factorization::kQr;
+  for (const QrScheme forced : {QrScheme::kBlocked, QrScheme::kTsqr}) {
+    ScopedQrScheme scope(forced);
+    Matrix Xa = X;
+    Rng r(3);
+    const auto s = wfire::enkf::enkf_analysis(Xa, HX, d, r_std, r, opt);
+    EXPECT_EQ(s.qr_scheme_used, forced) << "process default not honored";
+  }
 }
