@@ -103,12 +103,18 @@ BENCHMARK(BM_Fig2_AssimilationCycle)
     ->Iterations(1);
 
 // Member-advance phase in isolation: the embarrassingly parallel part.
+// Second argument selects the forward-model path: 0 = per-member reference,
+// 1 = batched SoA sweeps (the PR-7 tentpole).
 static void BM_Fig2_MemberAdvance(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) != 0;
   const grid::Grid2D g(kGridN, kGridN, 6.0, 6.0);
+  core::CycleOptions opt = cycle_options(16, threads, false);
+  opt.advance =
+      batched ? core::AdvanceMode::kBatched : core::AdvanceMode::kReference;
   core::AssimilationCycle cycle(
       g, fire::uniform_fuel(g.nx, g.ny, fire::kFuelShortGrass),
-      fire::terrain_flat(g), {}, cycle_options(16, threads, false), 8);
+      fire::terrain_flat(g), {}, opt, 8);
   cycle.initialize({levelset::Ignition{
       levelset::CircleIgnition{280.0, 300.0, 25.0, 0.0}}});
   double t = 0;
@@ -117,11 +123,60 @@ static void BM_Fig2_MemberAdvance(benchmark::State& state) {
     cycle.advance_to(t);
   }
   state.counters["threads"] = threads;
+  state.counters["batched"] = batched ? 1 : 0;
 }
 BENCHMARK(BM_Fig2_MemberAdvance)
     ->Unit(benchmark::kMillisecond)
-    ->Arg(1)
-    ->Arg(2);
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({1, 1})
+    ->Args({2, 1});
+
+// The batched SoA advance in isolation: EnsembleBatch loaded once, then
+// advanced without the cycle's load/store round trip. Arguments:
+// (members, band_cells); band_cells = 0 is the full-grid sweep.
+static void BM_Batch_Advance(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const int band_cells = static_cast<int>(state.range(1));
+  const grid::Grid2D g(kGridN, kGridN, 6.0, 6.0);
+  const fire::FuelMap fuel =
+      fire::uniform_fuel(g.nx, g.ny, fire::kFuelShortGrass);
+  const util::Array2D<double> terrain = fire::terrain_flat(g);
+
+  std::vector<std::unique_ptr<fire::FireModel>> models;
+  util::Rng rng(9);
+  for (int k = 0; k < members; ++k) {
+    auto m = std::make_unique<fire::FireModel>(g, fuel, terrain,
+                                               fire::FireModelOptions{});
+    m->ignite({levelset::Ignition{levelset::CircleIgnition{
+        280.0 + rng.normal(0.0, 20.0), 300.0 + rng.normal(0.0, 20.0), 25.0,
+        0.0}}});
+    models.push_back(std::move(m));
+  }
+  core::EnsembleBatchOptions bopt;
+  bopt.band_cells = band_cells;
+  core::EnsembleBatch batch(g, fuel, terrain, fire::FireModelOptions{},
+                            members, bopt);
+  for (int k = 0; k < members; ++k) {
+    util::Rng wrng = util::Rng::stream(9, 100 + k);
+    batch.set_member_wind(k, 3.0 + wrng.normal(0.0, 0.5),
+                          wrng.normal(0.0, 0.5));
+  }
+  batch.load(models);
+  double t = 0;
+  for (auto _ : state) {
+    t += kCycleLen;
+    batch.advance_to(t, 0.5);
+  }
+  state.counters["members"] = members;
+  state.counters["band_cells"] = band_cells;
+  state.counters["band_size"] = batch.band_size();
+}
+BENCHMARK(BM_Batch_Advance)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({16, 0})
+    ->Args({16, 8})
+    ->Args({25, 8});
 
 static void BM_Fig2_FileRoundTrip(benchmark::State& state) {
   // Cost of one member's state round trip through a disk file.

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   copt.morph.sigma_T = 0.5;
   core::AssimilationCycle cycle(
       grid, fire::uniform_fuel(grid.nx, grid.ny, fire::kFuelShortGrass),
-      fire::terrain_flat(grid), {}, copt, 21);
+      fire::terrain_flat(grid), {}, copt, 22);
   cycle.initialize({levelset::Ignition{
       levelset::CircleIgnition{270.0, 300.0, 25.0, 0.0}}});
 

@@ -1,0 +1,156 @@
+#include "atmos/poisson_batch.h"
+
+#include "util/omp_compat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace wfire::atmos {
+
+namespace {
+inline int wrap(int i, int n) { return (i + n) % n; }
+
+inline std::size_t cell_of(int i, int j, int k, int nx, int ny) {
+  return (static_cast<std::size_t>(k) * ny + j) * nx + i;
+}
+}  // namespace
+
+void rbgs_sweep_batch(const grid::Grid3D& g, int stride, const double* rhs,
+                      double* phi, double omega) {
+  const int nx = g.nx, ny = g.ny, nz = g.nz;
+  const double cx = 1.0 / (g.dx * g.dx);
+  const double cy = 1.0 / (g.dy * g.dy);
+  const double cz = 1.0 / (g.dz * g.dz);
+  for (int color = 0; color < 2; ++color) {
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+    for (int k = 0; k < nz; ++k) {
+      for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          if (((i + j + k) & 1) != color) continue;
+          const double* xl =
+              phi + cell_of(wrap(i - 1, nx), j, k, nx, ny) * stride;
+          const double* xr =
+              phi + cell_of(wrap(i + 1, nx), j, k, nx, ny) * stride;
+          const double* yl =
+              phi + cell_of(i, wrap(j - 1, ny), k, nx, ny) * stride;
+          const double* yr =
+              phi + cell_of(i, wrap(j + 1, ny), k, nx, ny) * stride;
+          const double* zl =
+              k > 0 ? phi + cell_of(i, j, k - 1, nx, ny) * stride : nullptr;
+          const double* zr = k < nz - 1
+                                 ? phi + cell_of(i, j, k + 1, nx, ny) * stride
+                                 : nullptr;
+          const double* b = rhs + cell_of(i, j, k, nx, ny) * stride;
+          double* p = phi + cell_of(i, j, k, nx, ny) * stride;
+          // Neumann in z: the missing neighbor contributes neither to the
+          // off-diagonal sum nor to the diagonal (poisson.cpp arithmetic).
+          double diag = 2 * cx + 2 * cy;
+          if (zl) diag += cz;
+          if (zr) diag += cz;
+          WFIRE_PRAGMA_OMP(omp simd)
+          for (int m = 0; m < stride; ++m) {
+            double off = cx * (xl[m] + xr[m]) + cy * (yl[m] + yr[m]);
+            if (zl) off += cz * zl[m];
+            if (zr) off += cz * zr[m];
+            const double gs = (off - b[m]) / diag;
+            p[m] += omega * (gs - p[m]);
+          }
+        }
+      }
+    }
+  }
+}
+
+void residual_batch(const grid::Grid3D& g, int stride, const double* phi,
+                    const double* rhs, double* r, double* max_r) {
+  const int nx = g.nx, ny = g.ny, nz = g.nz;
+  const double cx = 1.0 / (g.dx * g.dx);
+  const double cy = 1.0 / (g.dy * g.dy);
+  const double cz = 1.0 / (g.dz * g.dz);
+  for (int m = 0; m < stride; ++m) max_r[m] = 0.0;
+  // Per-plane partial maxima merged serially afterwards (array reductions
+  // are awkward across OpenMP versions).
+  std::vector<double> plane_max(static_cast<std::size_t>(nz) * stride, 0.0);
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int k = 0; k < nz; ++k) {
+    double* pmax = plane_max.data() + static_cast<std::size_t>(k) * stride;
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const double* c = phi + cell_of(i, j, k, nx, ny) * stride;
+        const double* xl =
+            phi + cell_of(wrap(i - 1, nx), j, k, nx, ny) * stride;
+        const double* xr =
+            phi + cell_of(wrap(i + 1, nx), j, k, nx, ny) * stride;
+        const double* yl =
+            phi + cell_of(i, wrap(j - 1, ny), k, nx, ny) * stride;
+        const double* yr =
+            phi + cell_of(i, wrap(j + 1, ny), k, nx, ny) * stride;
+        const double* zl =
+            k > 0 ? phi + cell_of(i, j, k - 1, nx, ny) * stride : nullptr;
+        const double* zr = k < nz - 1
+                               ? phi + cell_of(i, j, k + 1, nx, ny) * stride
+                               : nullptr;
+        const double* b = rhs + cell_of(i, j, k, nx, ny) * stride;
+        double* out = r + cell_of(i, j, k, nx, ny) * stride;
+        WFIRE_PRAGMA_OMP(omp simd)
+        for (int m = 0; m < stride; ++m) {
+          // Neumann mirror ghost in z equals the interior value.
+          const double vzl = zl ? zl[m] : c[m];
+          const double vzr = zr ? zr[m] : c[m];
+          const double lap = cx * (xl[m] - 2 * c[m] + xr[m]) +
+                             cy * (yl[m] - 2 * c[m] + yr[m]) +
+                             cz * (vzl - 2 * c[m] + vzr);
+          out[m] = b[m] - lap;
+          pmax[m] = std::max(pmax[m], std::abs(out[m]));
+        }
+      }
+    }
+  }
+  for (int k = 0; k < nz; ++k)
+    for (int m = 0; m < stride; ++m)
+      max_r[m] = std::max(
+          max_r[m], plane_max[static_cast<std::size_t>(k) * stride + m]);
+}
+
+std::vector<SolveStats> solve_sor_batch(const grid::Grid3D& g, int members,
+                                        int stride, const double* rhs,
+                                        double* phi, const SorOptions& opt) {
+  const std::size_t n =
+      static_cast<std::size_t>(g.nx) * g.ny * g.nz * stride;
+  std::vector<double> r(n);
+  std::vector<double> max_r(stride, 0.0);
+  std::vector<SolveStats> stats(members);
+  for (int it = 0; it < opt.max_iters; ++it) {
+    rbgs_sweep_batch(g, stride, rhs, phi, opt.omega);
+    // Check the residual every few sweeps; it is as costly as a sweep.
+    if (it % 5 == 4 || it == opt.max_iters - 1) {
+      residual_batch(g, stride, phi, rhs, r.data(), max_r.data());
+      bool all = true;
+      for (int m = 0; m < members; ++m) {
+        stats[m].final_residual = max_r[m];
+        if (max_r[m] < opt.tol) {
+          if (!stats[m].converged) {
+            stats[m].converged = true;
+            stats[m].iterations = it + 1;
+          }
+        } else {
+          stats[m].iterations = it + 1;
+          all = false;
+        }
+      }
+      if (all) break;
+    }
+  }
+  // Project each member onto the zero-mean subspace (remove_mean per lane).
+  const std::size_t cells = n / stride;
+  for (int m = 0; m < members; ++m) {
+    double mean = 0;
+    for (std::size_t c = 0; c < cells; ++c) mean += phi[c * stride + m];
+    mean /= static_cast<double>(cells);
+    for (std::size_t c = 0; c < cells; ++c) phi[c * stride + m] -= mean;
+  }
+  return stats;
+}
+
+}  // namespace wfire::atmos

@@ -1,0 +1,37 @@
+// Batched (structure-of-arrays) Poisson smoother/residual/solver for
+// ensembles of pressure problems: M independent right-hand sides (one per
+// ensemble member) relaxed in one fused sweep with a unit-stride inner
+// member loop. Layout: value(i, j, k, m) = data[cell * stride + m] with
+// cell = (k * ny + j) * nx + i and stride >= members (padding lanes must be
+// zero-filled; the all-zero problem is a fixed point of the sweep).
+//
+// Per member the red-black update order and arithmetic are exactly
+// poisson.cpp's, so a fixed number of batched sweeps is bitwise-equal to
+// the same number of scalar sweeps per member.
+#pragma once
+
+#include <vector>
+
+#include "atmos/poisson.h"
+
+namespace wfire::atmos {
+
+// One red-black Gauss-Seidel sweep with relaxation omega over all members.
+void rbgs_sweep_batch(const grid::Grid3D& g, int stride, const double* rhs,
+                      double* phi, double omega);
+
+// r = rhs - Laplacian(phi) per member; writes each member's max-norm into
+// max_r (length >= stride; padding lanes get 0).
+void residual_batch(const grid::Grid3D& g, int stride, const double* phi,
+                    const double* rhs, double* r, double* max_r);
+
+// Red-black SOR for all members at once; phi holds the initial guesses and
+// the solutions. Sweeps continue until every member's residual meets
+// opt.tol (converged members keep relaxing — harmless, they only contract
+// further). Returns per-member stats; `iterations` records the sweep count
+// at which that member first measured converged.
+std::vector<SolveStats> solve_sor_batch(const grid::Grid3D& g, int members,
+                                        int stride, const double* rhs,
+                                        double* phi, const SorOptions& opt = {});
+
+}  // namespace wfire::atmos

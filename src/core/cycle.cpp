@@ -51,6 +51,7 @@ AssimilationCycle::AssimilationCycle(const grid::Grid2D& g, fire::FuelMap fuel,
       terrain_(std::move(terrain)),
       fire_opt_(fire_opt),
       opt_(opt),
+      seed_(seed),
       rng_(seed),
       runner_(opt.threads),
       menkf_(opt.morph) {
@@ -62,30 +63,78 @@ void AssimilationCycle::initialize(
     const std::vector<levelset::Ignition>& base) {
   models_.clear();
   member_wind_.clear();
-  for (int k = 0; k < opt_.members; ++k) {
+  out_scratch_.clear();
+  batch_.reset();
+  models_.resize(opt_.members);
+  member_wind_.resize(opt_.members);
+  out_scratch_.resize(opt_.members);
+  // Member k's perturbations come from its own counter-based stream, so the
+  // ensemble is identical no matter how many threads build or advance it
+  // (and no matter what else was drawn from the shared rng_).
+  runner_.run_phase("initialize", opt_.members, [&](int k) {
+    util::Rng mrng =
+        util::Rng::stream(seed_, static_cast<std::uint64_t>(k) + 1);
     auto model = std::make_unique<fire::FireModel>(grid_, fuel_, terrain_,
                                                    fire_opt_);
-    const double dx = opt_.ignition_jitter * rng_.normal();
-    const double dy = opt_.ignition_jitter * rng_.normal();
+    const double dx = opt_.ignition_jitter * mrng.normal();
+    const double dy = opt_.ignition_jitter * mrng.normal();
     std::vector<levelset::Ignition> perturbed;
     perturbed.reserve(base.size());
     for (const auto& ign : base) perturbed.push_back(shifted(ign, dx, dy));
     model->ignite(perturbed);
-    models_.push_back(std::move(model));
-    member_wind_.emplace_back(opt_.wind_u + opt_.wind_jitter * rng_.normal(),
-                              opt_.wind_v + opt_.wind_jitter * rng_.normal());
+    models_[k] = std::move(model);
+    member_wind_[k] = {opt_.wind_u + opt_.wind_jitter * mrng.normal(),
+                       opt_.wind_v + opt_.wind_jitter * mrng.normal()};
+  });
+}
+
+bool AssimilationCycle::batchable() const {
+  if (models_.empty()) return false;
+  const double t0 = models_.front()->state().time;
+  const int r0 = models_.front()->steps_since_reinit();
+  for (const auto& m : models_) {
+    if (m->has_pending_ignitions()) return false;
+    if (std::abs(m->state().time - t0) > 1e-9) return false;
+    if (m->steps_since_reinit() != r0) return false;
   }
+  return true;
 }
 
 void AssimilationCycle::advance_to(double time) {
-  runner_.run_phase("advance", members(), [&](int k) {
-    fire::FireModel& m = *models_[k];
-    const auto [wu, wv] = member_wind_[k];
-    while (m.state().time < time - 1e-9) {
-      const double remaining = time - m.state().time;
-      m.step_uniform_wind(std::min(opt_.dt, remaining), wu, wv);
-    }
-  });
+  const AdvanceMode mode = opt_.advance == AdvanceMode::kAuto
+                               ? default_advance_mode()
+                               : opt_.advance;
+  const bool batched = mode == AdvanceMode::kBatched && batchable();
+  last_advance_batched_ = batched;
+  if (batched) {
+    runner_.run_batch_phase("advance", [&] {
+      if (!batch_) {
+        EnsembleBatchOptions bopt;
+        if (opt_.band_cells >= 0)
+          bopt.band_cells = opt_.band_cells;
+        else
+          bopt.band_cells = default_band_cells();
+        batch_ = std::make_unique<EnsembleBatch>(grid_, fuel_, terrain_,
+                                                 fire_opt_, members(), bopt);
+      }
+      for (int k = 0; k < members(); ++k)
+        batch_->set_member_wind(k, member_wind_[k].first,
+                                member_wind_[k].second);
+      batch_->load(models_);
+      batch_->advance_to(time, opt_.dt);
+      batch_->store(models_);
+    });
+  } else {
+    runner_.run_phase("advance", members(), [&](int k) {
+      fire::FireModel& m = *models_[k];
+      const auto [wu, wv] = member_wind_[k];
+      while (m.state().time < time - 1e-9) {
+        const double remaining = time - m.state().time;
+        m.step_uniform_wind_into(std::min(opt_.dt, remaining), wu, wv,
+                                 out_scratch_[k]);
+      }
+    });
+  }
   if (opt_.file_exchange) roundtrip_through_files();
 }
 

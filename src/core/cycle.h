@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/data_pool.h"
+#include "core/ensemble_batch.h"
 #include "core/model_state.h"
 #include "la/workspace.h"
 #include "morphing/menkf.h"
@@ -52,6 +53,13 @@ struct CycleOptions {
   bool file_exchange = false;
   std::string exchange_dir = "/tmp/wfire_exchange";
   int threads = 0;               // 0 = hardware concurrency
+  // Forward-model path: kAuto follows WFIRE_ADVANCE (default batched). The
+  // batched SoA advance falls back to the per-member reference path when
+  // members are out of lockstep or hold delayed ignitions.
+  AdvanceMode advance = AdvanceMode::kAuto;
+  // Narrow-band half width in cells for the batched path; < 0 follows
+  // WFIRE_BAND_CELLS (default 8), 0 disables the band.
+  int band_cells = -1;
   // Dense-LA scratch arena for the analysis. When null the cycle owns one,
   // so a cycling driver is allocation-free in steady state either way; pass
   // a pointer to share one arena across several cycles/filters.
@@ -87,6 +95,10 @@ class AssimilationCycle {
   [[nodiscard]] const fire::FireModel& member(int k) const { return *models_[k]; }
   [[nodiscard]] const grid::Grid2D& grid() const { return grid_; }
   [[nodiscard]] par::EnsembleRunner& runner() { return runner_; }
+  // Whether the last advance_to() took the batched SoA path (diagnostics).
+  [[nodiscard]] bool last_advance_batched() const {
+    return last_advance_batched_;
+  }
 
   // Mean over members of the burning-centroid distance to a reference psi.
   [[nodiscard]] double mean_position_error(
@@ -104,16 +116,23 @@ class AssimilationCycle {
   void scatter_fields(const std::vector<morphing::MorphMember>& fields,
                       double time);
   void roundtrip_through_files();
+  // True when every member shares the model time and redistancing phase and
+  // holds no delayed ignitions — the preconditions of the batched advance.
+  [[nodiscard]] bool batchable() const;
 
   grid::Grid2D grid_;
   fire::FuelMap fuel_;
   util::Array2D<double> terrain_;
   fire::FireModelOptions fire_opt_;
   CycleOptions opt_;
+  std::uint64_t seed_;
   util::Rng rng_;
   par::EnsembleRunner runner_;
   std::vector<std::unique_ptr<fire::FireModel>> models_;
   std::vector<std::pair<double, double>> member_wind_;
+  std::vector<fire::FireOutputs> out_scratch_;  // reference-path flux reuse
+  std::unique_ptr<EnsembleBatch> batch_;        // lazily built SoA advance
+  bool last_advance_batched_ = false;
   morphing::MorphingEnKF menkf_;
   la::Workspace la_ws_;  // analysis scratch when opt_.la_workspace is null
 };

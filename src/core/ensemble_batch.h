@@ -1,0 +1,155 @@
+// Batched structure-of-arrays ensemble propagation — the forward-model half
+// of the paper's Fig. 2 as one fused computation instead of N independent
+// model runs. All members' level set / ignition-time / fuel-fraction fields
+// are stored member-contiguous per grid node (layout contract in
+// levelset/batch.h), so the spread evaluation, the Godunov/Heun update, the
+// ignition-time crossing and the post-frontal fuel decay each become one
+// grid sweep with a unit-stride inner member loop the compiler vectorizes.
+//
+// Narrow band: only nodes within `band_cells` cells of *any* member's front
+// are swept. The front moves at most max-S per second, so the band stays
+// valid until the accumulated front travel eats the safety margin; it is
+// then rebuilt from the current psi (and after every fast-sweep
+// redistancing, which also repairs the frozen far field — see
+// levelset/fast_sweep.h). With the band disabled (band_cells = 0, full-grid
+// sweeps) the batched advance is bitwise-identical to stepping each
+// FireModel; with the band on, the zero contour and ignition times agree to
+// rounding while the far field lags between redistancing calls.
+//
+// Cadence caveat: the full-grid reference lets psi decrease *everywhere*
+// S > 0 — far ahead of the front the field drifts down between
+// redistancings, so cells there cross zero slightly earlier than the
+// geometric front arrival. The band freezes that far field and so discards
+// the drift (the standard narrow-band treatment). Both artifacts are erased
+// by each fast-sweep redistancing, so band and reference agree when the
+// front travels a modest fraction of the band width per reinit interval
+// (reinit_interval * dt * smax small against band_cells * h); with very
+// long intervals the reference front runs ahead of the banded one.
+//
+// Steady state allocates nothing: the SoA fields are sized at construction
+// and the compact band scratch reuses its high-water capacity across
+// rebuilds (the same arena discipline as la::Workspace in the analysis).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fire/model.h"
+#include "fire/spread_batch.h"
+#include "levelset/batch.h"
+
+namespace wfire::core {
+
+// How AssimilationCycle::advance_to propagates the ensemble (env knob
+// WFIRE_ADVANCE=batched|reference at first use; kAuto follows the process
+// default). The per-member scalar path stays as the property-tested
+// reference.
+enum class AdvanceMode { kAuto, kBatched, kReference };
+
+[[nodiscard]] AdvanceMode default_advance_mode();
+void set_default_advance_mode(AdvanceMode m);
+
+// RAII override for tests.
+class ScopedAdvanceMode {
+ public:
+  explicit ScopedAdvanceMode(AdvanceMode m) : prev_(default_advance_mode()) {
+    set_default_advance_mode(m);
+  }
+  ~ScopedAdvanceMode() { set_default_advance_mode(prev_); }
+  ScopedAdvanceMode(const ScopedAdvanceMode&) = delete;
+  ScopedAdvanceMode& operator=(const ScopedAdvanceMode&) = delete;
+
+ private:
+  AdvanceMode prev_;
+};
+
+struct EnsembleBatchOptions {
+  // Narrow-band half width in cells (distance from the nearest member
+  // front); 0 disables the band (full-grid sweeps, bitwise-equal to the
+  // reference path). Values 1..3 are clamped to 4: the band needs room for
+  // the 2-cell rebuild slack plus the stencil. Env default: WFIRE_BAND_CELLS.
+  int band_cells = 8;
+  // Member-lane padding: the stride is members rounded up to a multiple of
+  // this (4 doubles = one AVX2 vector). Padding lanes carry benign values
+  // through the same arithmetic.
+  int simd_pad = 4;
+};
+
+// Band-cell default from the environment (WFIRE_BAND_CELLS, >= 0; unset =
+// 8). Exposed so benches/tests can report the effective width.
+[[nodiscard]] int default_band_cells();
+
+class EnsembleBatch {
+ public:
+  // Shared grid/fuel/terrain and stepping options; `members` is fixed for
+  // the batch lifetime (load() expects exactly that many models).
+  EnsembleBatch(const grid::Grid2D& g, const fire::FuelMap& fuel,
+                const util::Array2D<double>& terrain,
+                fire::FireModelOptions opt, int members,
+                EnsembleBatchOptions bopt = {});
+
+  [[nodiscard]] int members() const { return members_; }
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] int band_size() const { return static_cast<int>(band_.size()); }
+  [[nodiscard]] const EnsembleBatchOptions& options() const { return bopt_; }
+
+  // Per-member uniform wind forcing [m/s] (the assimilation-cycle regime).
+  void set_member_wind(int k, double u, double v);
+
+  // Packs the models' states into the SoA fields. All members must share
+  // the model time and the reinitialization phase (they do when advanced in
+  // lockstep); throws otherwise.
+  void load(const std::vector<std::unique_ptr<fire::FireModel>>& models);
+
+  // Advances all members to `time` in steps of `dt` (the last step is
+  // shortened to land exactly). Matches FireModel::step semantics: spread
+  // from current psi and fuel fraction, Heun/Euler Godunov update, linear
+  // ignition-time crossing, post-frontal fuel decay, periodic fast-sweep
+  // redistancing.
+  void advance_to(double time, double dt);
+
+  // Writes the advanced states back through FireModel::set_state (which
+  // refreshes each model's fuel fraction from tig).
+  void store(std::vector<std::unique_ptr<fire::FireModel>>& models) const;
+
+  // Test access: copies member k's field out of the SoA storage.
+  [[nodiscard]] util::Array2D<double> psi_of(int k) const;
+  [[nodiscard]] util::Array2D<double> tig_of(int k) const;
+
+ private:
+  void step(double dt);
+  void rebuild_band();
+  void reinitialize_members();
+
+  grid::Grid2D grid_;
+  fire::FireModelOptions opt_;
+  EnsembleBatchOptions bopt_;
+  levelset::BatchLayout lay_;
+  int members_ = 0;
+  double time_ = 0;
+  int steps_since_reinit_ = 0;
+
+  fire::SpreadTables tables_;
+  util::Array2D<double> dzdx_, dzdy_;
+
+  // Full-grid SoA fields.
+  std::vector<double> psi_, tig_, fuel_;
+  // Per-member forcing rows (length stride; padding lanes 0).
+  std::vector<double> wind_u_, wind_v_;
+
+  // Narrow band: sorted cell list, cell -> band position (-1 outside), and
+  // the accumulated front travel [m] since the last rebuild.
+  std::vector<int> band_;
+  std::vector<int> band_pos_;
+  double travel_ = 0;
+  double band_width_m_ = 0;   // 0 = full grid
+  double rebuild_margin_m_ = 0;
+
+  // Compact band-major scratch (speed, gradients, predictor, pre-step psi).
+  std::vector<double> speed_, k1_, k2_, pred_, before_;
+
+  // Per-member scratch for the fast-sweep redistancing.
+  mutable std::vector<util::Array2D<double>> member_scratch_;
+};
+
+}  // namespace wfire::core

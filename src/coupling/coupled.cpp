@@ -40,12 +40,16 @@ void CoupledModel::ignite(const std::vector<levelset::Ignition>& ignitions) {
 
 CoupledStepInfo CoupledModel::step(double dt) {
   CoupledStepInfo info;
+  step(dt, info);
+  return info;
+}
 
+void CoupledModel::step(double dt, CoupledStepInfo& info) {
   // 1. Atmosphere -> fire: sample near-ground wind on the fire mesh.
   sample_ground_wind(atmos_.grid(), atmos_.state(), pair_, wind_u_, wind_v_);
 
   // 2. Advance the fire with those winds.
-  info.fire = fire_.step(dt, wind_u_, wind_v_);
+  fire_.step_into(dt, wind_u_, wind_v_, info.fire);
   info.fire_cfl = info.fire.step.cfl;
 
   // 3. Fire -> atmosphere: aggregate fluxes and build decay-profile sources.
@@ -60,7 +64,6 @@ CoupledStepInfo CoupledModel::step(double dt) {
 
   // 4. Advance the atmosphere.
   info.atmos = atmos_.step(dt);
-  return info;
 }
 
 }  // namespace wfire::coupling

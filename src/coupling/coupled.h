@@ -50,6 +50,10 @@ class CoupledModel {
 
   CoupledStepInfo step(double dt);
 
+  // Same step, writing into `info` so a driver stepping in a loop reuses
+  // the fire-flux arrays instead of allocating them every step.
+  void step(double dt, CoupledStepInfo& info);
+
   [[nodiscard]] const fire::FireModel& fire_model() const { return fire_; }
   [[nodiscard]] fire::FireModel& fire_model() { return fire_; }
   [[nodiscard]] const atmos::WrfLite& atmosphere() const { return atmos_; }

@@ -85,6 +85,14 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
 FireOutputs FireModel::step(double dt,
                             const util::Array2D<double>& wind_u,
                             const util::Array2D<double>& wind_v) {
+  FireOutputs out;
+  step_into(dt, wind_u, wind_v, out);
+  return out;
+}
+
+void FireModel::step_into(double dt, const util::Array2D<double>& wind_u,
+                          const util::Array2D<double>& wind_v,
+                          FireOutputs& out) {
   if (dt <= 0) throw std::invalid_argument("FireModel::step: dt <= 0");
   apply_pending_ignitions();
 
@@ -96,16 +104,17 @@ FireOutputs FireModel::step(double dt,
   spread_field(grid_, state_.psi, fuel_, in, fuel_frac_, opt_.min_fuel_frac,
                speed_);
 
-  const util::Array2D<double> psi_before = state_.psi;
+  if (!psi_before_.same_shape(state_.psi))
+    psi_before_ = util::Array2D<double>(grid_.nx, grid_.ny);
+  std::copy(state_.psi.begin(), state_.psi.end(), psi_before_.begin());
   const double t_before = state_.time;
-  FireOutputs out;
   out.step = opt_.use_heun
                  ? levelset::step_heun(grid_, speed_, dt, opt_.scheme,
                                        state_.psi)
                  : levelset::step_euler(grid_, speed_, dt, opt_.scheme,
                                         state_.psi);
   state_.time += dt;
-  update_ignition_times(psi_before, t_before, dt);
+  update_ignition_times(psi_before_, t_before, dt);
 
   if (opt_.reinit_interval > 0 &&
       ++steps_since_reinit_ >= opt_.reinit_interval) {
@@ -115,8 +124,12 @@ FireOutputs FireModel::step(double dt,
 
   // Post-frontal heat release: fuel fraction decays as exp(-(t - tig)/tau);
   // the heat flux is proportional to the mass consumed this step.
-  out.sensible_flux = util::Array2D<double>(grid_.nx, grid_.ny, 0.0);
-  out.latent_flux = util::Array2D<double>(grid_.nx, grid_.ny, 0.0);
+  if (!out.sensible_flux.same_shape(state_.psi)) {
+    out.sensible_flux = util::Array2D<double>(grid_.nx, grid_.ny);
+    out.latent_flux = util::Array2D<double>(grid_.nx, grid_.ny);
+  }
+  out.sensible_flux.fill(0.0);
+  out.latent_flux.fill(0.0);
   double total_sens = 0, total_lat = 0;
 WFIRE_PRAGMA_OMP(omp parallel for schedule(static) reduction(+ : total_sens, total_lat))
   for (int j = 0; j < grid_.ny; ++j) {
@@ -142,17 +155,23 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static) reduction(+ : total_sens, tot
   }
   out.total_sensible_power = total_sens * grid_.dx * grid_.dy;
   out.total_latent_power = total_lat * grid_.dx * grid_.dy;
-  return out;
 }
 
 FireOutputs FireModel::step_uniform_wind(double dt, double u, double v) {
+  FireOutputs out;
+  step_uniform_wind_into(dt, u, v, out);
+  return out;
+}
+
+void FireModel::step_uniform_wind_into(double dt, double u, double v,
+                                       FireOutputs& out) {
   if (!uniform_u_.same_shape(state_.psi)) {
     uniform_u_ = util::Array2D<double>(grid_.nx, grid_.ny);
     uniform_v_ = util::Array2D<double>(grid_.nx, grid_.ny);
   }
   uniform_u_.fill(u);
   uniform_v_.fill(v);
-  return step(dt, uniform_u_, uniform_v_);
+  step_into(dt, uniform_u_, uniform_v_, out);
 }
 
 void FireModel::set_state(FireState s) {

@@ -60,8 +60,15 @@ class FireModel {
   FireOutputs step(double dt, const util::Array2D<double>& wind_u,
                    const util::Array2D<double>& wind_v);
 
+  // Same step, but writes the fluxes into `out`, reusing its arrays when
+  // already shaped — the steady-state stepping path allocates nothing
+  // (per-step flux allocations used to dominate member-advance profiles).
+  void step_into(double dt, const util::Array2D<double>& wind_u,
+                 const util::Array2D<double>& wind_v, FireOutputs& out);
+
   // Convenience: constant ambient wind.
   FireOutputs step_uniform_wind(double dt, double u, double v);
+  void step_uniform_wind_into(double dt, double u, double v, FireOutputs& out);
 
   [[nodiscard]] const grid::Grid2D& grid() const { return grid_; }
   [[nodiscard]] const FireState& state() const { return state_; }
@@ -81,6 +88,15 @@ class FireModel {
   [[nodiscard]] double burned_area() const;
   [[nodiscard]] double front_length() const;
 
+  // Redistancing phase, exposed so a batched advance (core/ensemble_batch)
+  // can stay in lockstep with the per-member path across load/store
+  // round-trips.
+  [[nodiscard]] int steps_since_reinit() const { return steps_since_reinit_; }
+  void set_steps_since_reinit(int n) { steps_since_reinit_ = n; }
+  // True while delayed ignitions are still queued (time > 0 shapes); the
+  // batched path refuses such members and the cycle falls back to reference.
+  [[nodiscard]] bool has_pending_ignitions() const { return !pending_.empty(); }
+
  private:
   void refresh_fuel_fraction();
   void update_ignition_times(const util::Array2D<double>& psi_before,
@@ -96,7 +112,7 @@ class FireModel {
   std::vector<levelset::Ignition> pending_;  // delayed ignitions
   int steps_since_reinit_ = 0;
   // Scratch buffers reused across steps.
-  util::Array2D<double> speed_, uniform_u_, uniform_v_;
+  util::Array2D<double> speed_, uniform_u_, uniform_v_, psi_before_;
 };
 
 }  // namespace wfire::fire

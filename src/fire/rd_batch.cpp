@@ -1,0 +1,132 @@
+#include "fire/rd_batch.h"
+
+#include "util/omp_compat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wfire::fire {
+
+namespace {
+int round_up(int n, int pad) { return ((n + pad - 1) / pad) * pad; }
+}  // namespace
+
+RdFireBatch::RdFireBatch(const grid::Grid2D& g, RdFireParams p, int members,
+                         int simd_pad)
+    : grid_(g), p_(p), members_(members) {
+  if (members_ < 1) throw std::invalid_argument("RdFireBatch: members < 1");
+  if (p_.k <= 0 || p_.A < 0 || p_.B <= 0 || p_.C < 0 || p_.Cs < 0)
+    throw std::invalid_argument("RdFireBatch: invalid parameters");
+  const int pad = std::max(1, simd_pad);
+  lay_ = levelset::BatchLayout{g.nx, g.ny, round_up(members_, pad)};
+  T_.assign(lay_.size(), p_.Ta);
+  beta_.assign(lay_.size(), 0.0);
+  T_new_ = T_;
+  beta_new_ = beta_;
+  wind_u_.assign(lay_.stride, 0.0);
+  wind_v_.assign(lay_.stride, 0.0);
+  // Real lanes start with fresh fuel (RdFireModel ctor semantics); padding
+  // lanes keep beta = 0 so they never react.
+  const std::size_t cells = lay_.cells();
+  for (std::size_t c = 0; c < cells; ++c)
+    for (int k = 0; k < members_; ++k) beta_[c * lay_.stride + k] = 1.0;
+}
+
+double RdFireBatch::stable_dt() const {
+  const double h2 = std::min(grid_.dx * grid_.dx, grid_.dy * grid_.dy);
+  return h2 / (4.0 * p_.k);
+}
+
+void RdFireBatch::ignite_member(int k, double cx, double cy, double radius,
+                                double T_hot) {
+  if (k < 0 || k >= members_)
+    throw std::invalid_argument("RdFireBatch: ignite member out of range");
+  for (int j = 0; j < grid_.ny; ++j)
+    for (int i = 0; i < grid_.nx; ++i) {
+      const double d = std::hypot(grid_.x(i) - cx, grid_.y(j) - cy);
+      if (d <= radius)
+        T_[(static_cast<std::size_t>(j) * grid_.nx + i) * lay_.stride + k] =
+            T_hot;
+    }
+}
+
+void RdFireBatch::set_member_wind(int k, double vx, double vy) {
+  if (k < 0 || k >= members_)
+    throw std::invalid_argument("RdFireBatch: wind member out of range");
+  wind_u_[k] = vx;
+  wind_v_[k] = vy;
+}
+
+void RdFireBatch::step(double dt) {
+  if (dt <= 0) throw std::invalid_argument("RdFireBatch::step: dt <= 0");
+  if (dt > stable_dt() * (1.0 + 1e-9))
+    throw std::invalid_argument(
+        "RdFireBatch::step: dt exceeds the diffusive stability bound");
+  const int nx = grid_.nx, ny = grid_.ny, stride = lay_.stride;
+  const double ihx = 1.0 / grid_.dx, ihy = 1.0 / grid_.dy;
+  const double ihx2 = ihx * ihx, ihy2 = ihy * ihy;
+  const double kd = p_.k, A = p_.A, B = p_.B, C = p_.C, Cs = p_.Cs,
+               Ta = p_.Ta;
+  const double* wu = wind_u_.data();
+  const double* wv = wind_v_.data();
+  const double* T = T_.data();
+  const double* beta = beta_.data();
+  double* Tn = T_new_.data();
+  double* bn = beta_new_.data();
+
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const int cell = j * nx + i;
+      // Clamped neighbours, exactly Array2D::at_clamped semantics.
+      const int xm = i > 0 ? cell - 1 : cell;
+      const int xp = i < nx - 1 ? cell + 1 : cell;
+      const int ym = j > 0 ? cell - nx : cell;
+      const int yp = j < ny - 1 ? cell + nx : cell;
+      const double* Tc = T + static_cast<std::size_t>(cell) * stride;
+      const double* Txm = T + static_cast<std::size_t>(xm) * stride;
+      const double* Txp = T + static_cast<std::size_t>(xp) * stride;
+      const double* Tym = T + static_cast<std::size_t>(ym) * stride;
+      const double* Typ = T + static_cast<std::size_t>(yp) * stride;
+      const double* bc = beta + static_cast<std::size_t>(cell) * stride;
+      double* To = Tn + static_cast<std::size_t>(cell) * stride;
+      double* bo = bn + static_cast<std::size_t>(cell) * stride;
+      WFIRE_PRAGMA_OMP(omp simd)
+      for (int k = 0; k < stride; ++k) {
+        const double diff = kd * ((Txm[k] - 2 * Tc[k] + Txp[k]) * ihx2 +
+                                  (Tym[k] - 2 * Tc[k] + Typ[k]) * ihy2);
+        const double adv = (wu[k] > 0 ? wu[k] * (Tc[k] - Txm[k]) * ihx
+                                      : wu[k] * (Txp[k] - Tc[k]) * ihx) +
+                           (wv[k] > 0 ? wv[k] * (Tc[k] - Tym[k]) * ihy
+                                      : wv[k] * (Typ[k] - Tc[k]) * ihy);
+        const double dT = Tc[k] - Ta;
+        const double r = dT <= 0 ? 0.0 : std::exp(-B / dT);
+        const double dTdt = diff - adv + A * bc[k] * r - C * (Tc[k] - Ta);
+        To[k] = std::max(Tc[k] + dt * dTdt, Ta * 0.5);
+        bo[k] = std::clamp(bc[k] - dt * Cs * bc[k] * r, 0.0, 1.0);
+      }
+    }
+  }
+  std::swap(T_, T_new_);
+  std::swap(beta_, beta_new_);
+  time_ += dt;
+}
+
+util::Array2D<double> RdFireBatch::T_of(int k) const {
+  util::Array2D<double> out(grid_.nx, grid_.ny);
+  const std::size_t cells = lay_.cells();
+  for (std::size_t c = 0; c < cells; ++c)
+    out.data()[c] = T_[c * lay_.stride + k];
+  return out;
+}
+
+util::Array2D<double> RdFireBatch::beta_of(int k) const {
+  util::Array2D<double> out(grid_.nx, grid_.ny);
+  const std::size_t cells = lay_.cells();
+  for (std::size_t c = 0; c < cells; ++c)
+    out.data()[c] = beta_[c * lay_.stride + k];
+  return out;
+}
+
+}  // namespace wfire::fire

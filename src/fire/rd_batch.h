@@ -1,0 +1,57 @@
+// Batched (structure-of-arrays) ensemble of reaction-diffusion fire models —
+// the RD analogue of core/ensemble_batch for the level set model. All
+// members' temperature/fuel fields live member-contiguous per grid node
+// (levelset/batch.h layout contract), so the diffusion/advection/reaction
+// update is one fused grid sweep with a unit-stride inner member loop. The
+// per-node arithmetic is exactly RdFireModel::step order, so a batch of N
+// members is bitwise-equal to N independent scalar models.
+#pragma once
+
+#include <vector>
+
+#include "fire/reaction_diffusion.h"
+#include "levelset/batch.h"
+
+namespace wfire::fire {
+
+class RdFireBatch {
+ public:
+  // Shared grid and PDE parameters; `members` is fixed for the batch
+  // lifetime. `simd_pad` rounds the member stride up (4 doubles = one AVX2
+  // vector); padding lanes sit at ambient temperature with no fuel, which is
+  // a fixed point of the update.
+  RdFireBatch(const grid::Grid2D& g, RdFireParams p, int members,
+              int simd_pad = 4);
+
+  [[nodiscard]] int members() const { return members_; }
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] const RdFireParams& params() const { return p_; }
+  [[nodiscard]] double stable_dt() const;
+
+  // Member k's hot spot (RdFireModel::ignite semantics).
+  void ignite_member(int k, double cx, double cy, double radius,
+                     double T_hot = 800.0);
+
+  // Member k's uniform wind [m/s].
+  void set_member_wind(int k, double vx, double vy);
+
+  // One explicit step for all members; throws if dt violates the diffusive
+  // stability bound (shared by all members — the bound depends only on grid
+  // and diffusivity).
+  void step(double dt);
+
+  // Test access: copies member k's field out of the SoA storage.
+  [[nodiscard]] util::Array2D<double> T_of(int k) const;
+  [[nodiscard]] util::Array2D<double> beta_of(int k) const;
+
+ private:
+  grid::Grid2D grid_;
+  RdFireParams p_;
+  levelset::BatchLayout lay_;
+  int members_ = 0;
+  double time_ = 0;
+  std::vector<double> T_, beta_, T_new_, beta_new_;
+  std::vector<double> wind_u_, wind_v_;  // member rows, length stride
+};
+
+}  // namespace wfire::fire

@@ -1,0 +1,171 @@
+#include "levelset/batch.h"
+
+#include "util/omp_compat.h"
+
+#include <cmath>
+
+namespace wfire::levelset {
+
+namespace {
+
+// Mirrors paper_rule / godunov_sq in godunov.cpp — the per-axis arithmetic
+// must stay identical so the batched sweep is bitwise-equal to the scalar
+// path.
+inline double paper_rule(double dm, double dp, double dc) {
+  if (dm >= 0.0 && dc >= 0.0) return dm;
+  if (dp <= 0.0 && dc <= 0.0) return dp;
+  return 0.0;
+}
+
+inline double godunov_sq(double dm, double dp) {
+  const double a = std::max(dm, 0.0);
+  const double b = std::min(dp, 0.0);
+  return std::max(a * a, b * b);
+}
+
+// Clamped neighbour cell indices (Array2D::at_clamped semantics: the
+// boundary ring reads itself, which zeroes the one-sided difference there).
+struct Stencil {
+  int xl, xr, yl, yr;
+};
+
+inline Stencil stencil_for(int cell, int nx, int ny) {
+  const int i = cell % nx;
+  const int j = cell / nx;
+  Stencil s;
+  s.xl = i > 0 ? cell - 1 : cell;
+  s.xr = i < nx - 1 ? cell + 1 : cell;
+  s.yl = j > 0 ? cell - nx : cell;
+  s.yr = j < ny - 1 ? cell + nx : cell;
+  return s;
+}
+
+// Core gradient sweep, generic over how a cell's member row is fetched
+// (full-grid SoA vs compact band field with frozen fallback).
+template <typename RowFn>
+void gradient_core(const grid::Grid2D& g, const BatchLayout& lay, RowFn row,
+                   UpwindScheme scheme, const int* band, int nband,
+                   double* grad) {
+  const int nx = lay.nx, ny = lay.ny, stride = lay.stride;
+  const double ihx = 1.0 / g.dx, ihy = 1.0 / g.dy;
+
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int b = 0; b < nband; ++b) {
+    const int cell = band[b];
+    const Stencil st = stencil_for(cell, nx, ny);
+    const double* c = row(cell);
+    const double* xl = row(st.xl);
+    const double* xr = row(st.xr);
+    const double* yl = row(st.yl);
+    const double* yr = row(st.yr);
+    double* out = grad + static_cast<std::size_t>(b) * stride;
+    WFIRE_PRAGMA_OMP(omp simd)
+    for (int k = 0; k < stride; ++k) {
+      const double dxm = (c[k] - xl[k]) * ihx;
+      const double dxp = (xr[k] - c[k]) * ihx;
+      const double dxc = 0.5 * (xr[k] - xl[k]) * ihx;
+      const double dym = (c[k] - yl[k]) * ihy;
+      const double dyp = (yr[k] - c[k]) * ihy;
+      const double dyc = 0.5 * (yr[k] - yl[k]) * ihy;
+
+      double gx2, gy2;
+      switch (scheme) {
+        case UpwindScheme::kPaperRule: {
+          const double gx = paper_rule(dxm, dxp, dxc);
+          const double gy = paper_rule(dym, dyp, dyc);
+          gx2 = gx * gx;
+          gy2 = gy * gy;
+          break;
+        }
+        case UpwindScheme::kStandardGodunov:
+          gx2 = godunov_sq(dxm, dxp);
+          gy2 = godunov_sq(dym, dyp);
+          break;
+        case UpwindScheme::kCentral:
+        default:
+          gx2 = dxc * dxc;
+          gy2 = dyc * dyc;
+          break;
+      }
+      out[k] = std::sqrt(gx2 + gy2);
+    }
+  }
+}
+
+}  // namespace
+
+void gradient_magnitude_batch(const grid::Grid2D& g, const BatchLayout& lay,
+                              const double* psi, UpwindScheme scheme,
+                              const int* band, int nband, double* grad) {
+  const int stride = lay.stride;
+  gradient_core(
+      g, lay,
+      [psi, stride](int cell) {
+        return psi + static_cast<std::size_t>(cell) * stride;
+      },
+      scheme, band, nband, grad);
+}
+
+void gradient_magnitude_compact(const grid::Grid2D& g, const BatchLayout& lay,
+                                const double* compact, const int* band_pos,
+                                const double* fallback, UpwindScheme scheme,
+                                const int* band, int nband, double* grad) {
+  const int stride = lay.stride;
+  gradient_core(
+      g, lay,
+      [compact, band_pos, fallback, stride](int cell) {
+        const int b = band_pos[cell];
+        return b >= 0 ? compact + static_cast<std::size_t>(b) * stride
+                      : fallback + static_cast<std::size_t>(cell) * stride;
+      },
+      scheme, band, nband, grad);
+}
+
+void step_euler_batch(const grid::Grid2D& g, const BatchLayout& lay,
+                      const double* speed, double dt, UpwindScheme scheme,
+                      const int* band, int nband, double* psi, double* k1) {
+  const int stride = lay.stride;
+  gradient_magnitude_batch(g, lay, psi, scheme, band, nband, k1);
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int b = 0; b < nband; ++b) {
+    double* p = psi + static_cast<std::size_t>(band[b]) * stride;
+    const double* s = speed + static_cast<std::size_t>(b) * stride;
+    const double* g1 = k1 + static_cast<std::size_t>(b) * stride;
+    WFIRE_PRAGMA_OMP(omp simd)
+    for (int k = 0; k < stride; ++k) p[k] -= dt * s[k] * g1[k];
+  }
+}
+
+void step_heun_batch(const grid::Grid2D& g, const BatchLayout& lay,
+                     const double* speed, double dt, UpwindScheme scheme,
+                     const int* band, int nband, const int* band_pos,
+                     double* psi, double* pred, double* k1, double* k2) {
+  const int stride = lay.stride;
+  gradient_magnitude_batch(g, lay, psi, scheme, band, nband, k1);
+
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int b = 0; b < nband; ++b) {
+    const double* p = psi + static_cast<std::size_t>(band[b]) * stride;
+    const double* s = speed + static_cast<std::size_t>(b) * stride;
+    const double* g1 = k1 + static_cast<std::size_t>(b) * stride;
+    double* pr = pred + static_cast<std::size_t>(b) * stride;
+    WFIRE_PRAGMA_OMP(omp simd)
+    for (int k = 0; k < stride; ++k) pr[k] = p[k] - dt * s[k] * g1[k];
+  }
+
+  gradient_magnitude_compact(g, lay, pred, band_pos, psi, scheme, band, nband,
+                             k2);
+
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int b = 0; b < nband; ++b) {
+    double* p = psi + static_cast<std::size_t>(band[b]) * stride;
+    const double* s = speed + static_cast<std::size_t>(b) * stride;
+    const double* g1 = k1 + static_cast<std::size_t>(b) * stride;
+    const double* g2 = k2 + static_cast<std::size_t>(b) * stride;
+    WFIRE_PRAGMA_OMP(omp simd)
+    for (int k = 0; k < stride; ++k)
+      p[k] -= 0.5 * dt * s[k] * (g1[k] + g2[k]);
+  }
+}
+
+}  // namespace wfire::levelset

@@ -1,0 +1,68 @@
+// Batched (structure-of-arrays) level set kernels for ensemble propagation.
+//
+// Layout contract: an ensemble field stores the N members' values for one
+// grid node contiguously — value(cell, k) = data[cell * stride + k], with
+// cell = j * nx + i (the Array2D cell order) and stride >= members rounded
+// up so the inner member loop is unit-stride and vectorizable. Padding lanes
+// (k >= members) must hold benign values (psi = +far, speed = 0): they run
+// through the same arithmetic as real members and must not produce NaN/Inf
+// that could trap. See core/ensemble_batch.h for the owning container.
+//
+// All kernels sweep a *band* — an explicit, sorted list of cell indices —
+// rather than the whole grid; passing every cell reproduces the full-grid
+// sweep bitwise (the per-node arithmetic is exactly godunov.cpp /
+// integrator.cpp order, so batched-vs-per-member agreement is exact, not
+// approximate). Scratch fields (gradients, the Heun predictor) are compact:
+// indexed by band position b, value(b, k) = scratch[b * stride + k], with
+// `band_pos` mapping cell -> band position (-1 outside the band) so stencil
+// reads of compact fields can fall back to the frozen full-grid field.
+#pragma once
+
+#include "grid/grid2d.h"
+#include "levelset/godunov.h"
+
+namespace wfire::levelset {
+
+// Shape of one SoA ensemble field (see layout contract above).
+struct BatchLayout {
+  int nx = 0, ny = 0;
+  int stride = 0;  // padded member count; inner loops run k in [0, stride)
+
+  [[nodiscard]] std::size_t cells() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  }
+  [[nodiscard]] std::size_t size() const { return cells() * stride; }
+};
+
+// |grad psi| per member at each band cell, from the full-grid SoA field
+// `psi`. Output `grad` is compact: grad[b * stride + k] for band cell b.
+// Boundary handling matches gradient_magnitude (clamped reads).
+void gradient_magnitude_batch(const grid::Grid2D& g, const BatchLayout& lay,
+                              const double* psi, UpwindScheme scheme,
+                              const int* band, int nband, double* grad);
+
+// Same, but for a field defined compactly on the band (the Heun predictor):
+// stencil reads at cells outside the band fall back to the full-grid
+// `fallback` field (frozen there, since only band cells were advanced).
+void gradient_magnitude_compact(const grid::Grid2D& g, const BatchLayout& lay,
+                                const double* compact, const int* band_pos,
+                                const double* fallback, UpwindScheme scheme,
+                                const int* band, int nband, double* grad);
+
+// One explicit Euler step on the band cells: psi -= dt * S .* |grad psi|.
+// `speed` and scratch `k1` are compact (band-major); psi is full-grid SoA.
+void step_euler_batch(const grid::Grid2D& g, const BatchLayout& lay,
+                      const double* speed, double dt, UpwindScheme scheme,
+                      const int* band, int nband, double* psi, double* k1);
+
+// One Heun step on the band cells (integrator.cpp arithmetic, per node):
+//   k1 = S |grad psi|, pred = psi - dt k1,
+//   k2 = S |grad pred|, psi <- psi - dt (k1 + k2) / 2.
+// `speed`, `pred`, `k1`, `k2` are compact; `band_pos` maps cell -> band
+// position so the predictor gradient can read frozen psi outside the band.
+void step_heun_batch(const grid::Grid2D& g, const BatchLayout& lay,
+                     const double* speed, double dt, UpwindScheme scheme,
+                     const int* band, int nband, const int* band_pos,
+                     double* psi, double* pred, double* k1, double* k2);
+
+}  // namespace wfire::levelset

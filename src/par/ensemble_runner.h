@@ -25,13 +25,21 @@ class EnsembleRunner {
   [[nodiscard]] int threads() const { return pool_.size(); }
 
   // Runs task(k) for each member k in parallel; records the phase wall time
-  // under `name`.
+  // under `name`. Each member task's nested OpenMP regions are narrowed to
+  // pool_size / min(members, pool_size) threads so member-level and
+  // cell-level parallelism compose instead of oversubscribing.
   void run_phase(const std::string& name, int members,
                  const std::function<void(int)>& task);
 
   // Runs a serial (all-processors) phase, e.g. the EnKF analysis.
   void run_serial_phase(const std::string& name,
                         const std::function<void()>& task);
+
+  // Runs a fused batched phase (e.g. the SoA ensemble advance) on the
+  // calling thread with cell-level OpenMP widened to the pool width — the
+  // inverse decomposition of run_phase.
+  void run_batch_phase(const std::string& name,
+                       const std::function<void()>& task);
 
   [[nodiscard]] const std::vector<PhaseTiming>& timings() const {
     return timings_;

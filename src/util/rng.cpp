@@ -85,4 +85,12 @@ std::vector<double> Rng::normal_vector(std::size_t n) {
 
 Rng Rng::spawn() { return Rng(next_u64()); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Two SplitMix64 rounds mix the counter into the seed; distinct ids give
+  // well-separated sub-seeds without any shared sequencing state.
+  std::uint64_t a = seed;
+  std::uint64_t b = splitmix64(a) ^ stream_id;
+  return Rng(splitmix64(b));
+}
+
 }  // namespace wfire::util

@@ -36,7 +36,16 @@ class Rng {
 
   // Derive an independent stream (e.g. one per ensemble member). Streams
   // seeded from distinct jumps of SplitMix64 are statistically independent.
+  // Note spawn() advances *this*: the child depends on how many draws
+  // preceded it. For order-independent derivation use stream().
   [[nodiscard]] Rng spawn();
+
+  // Counter-based stream derivation: the sub-seed is a pure function of
+  // (seed, stream_id), so stream k's draws are identical no matter how many
+  // threads run, in what order streams are created, or what else was drawn
+  // from other streams. This is what makes per-member ensemble forcing
+  // reproducible across OMP_NUM_THREADS / pool sizes.
+  [[nodiscard]] static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
 
  private:
   std::uint64_t s_[4];

@@ -147,9 +147,12 @@ TEST(Cycle, AdvanceToMovesAllMembers) {
   cycle.advance_to(15.0);
   for (int k = 0; k < cycle.members(); ++k)
     EXPECT_NEAR(cycle.member(k).state().time, 15.0, 1e-9);
-  // Phase timings recorded.
+  // Phase timings recorded (initialize first, then the advance).
   ASSERT_FALSE(cycle.runner().timings().empty());
-  EXPECT_EQ(cycle.runner().timings()[0].name, "advance");
+  bool has_advance = false;
+  for (const auto& t : cycle.runner().timings())
+    if (t.name == "advance") has_advance = true;
+  EXPECT_TRUE(has_advance);
 }
 
 TEST(Cycle, AssimilationReducesPositionError) {
@@ -218,6 +221,10 @@ TEST(RealTime, DriverRecordsCyclesAndDeadlines) {
   opt.members = 4;
   opt.threads = 2;
   opt.morph.sigma_r = 50.0;
+  // Keep the 4-member ensemble clustered: with the default 60 m jitter a
+  // member can land outside this 240 m domain and the analysis consensus
+  // collapses — the test exercises driver bookkeeping, not filter skill.
+  opt.ignition_jitter = 20.0;
   AssimilationCycle cycle(g, fire::uniform_fuel(g.nx, g.ny, 0),
                           fire::terrain_flat(g), {}, opt, 15);
   cycle.initialize({levelset::Ignition{
