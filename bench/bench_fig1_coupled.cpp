@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "coupling/coupled.h"
+#include "coupling/coupled_batch.h"
 #include "levelset/front.h"
+#include "util/rng.h"
 
 using namespace wfire;
 
@@ -147,5 +149,79 @@ static void BM_Fig1_FireStepOnly(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Fig1_FireStepOnly)->Unit(benchmark::kMillisecond);
+
+// Ensemble coupled advance: one assimilation window of N members' coupled
+// fire-atmosphere steps, per-member CoupledModel loop vs the batched
+// coupling::CoupledEnsembleBatch path. Arguments:
+// (members, band_cells, two_way, batched); band_cells only affects the
+// batched path (the reference has no band), so the reference row doubles as
+// the baseline for every batched row at the same (members, two_way). The
+// {16, 8, 1, *} pair is the speedup axis the CI gate tracks.
+static void BM_Coupled_Advance(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  const int band_cells = static_cast<int>(state.range(1));
+  const bool two_way = state.range(2) != 0;
+  const bool batched = state.range(3) != 0;
+  const Fig1Config cfg;
+  const double window = 5.0;  // simulated seconds per iteration
+
+  const grid::Grid3D g(cfg.atmos_n, cfg.atmos_n, cfg.atmos_nz, cfg.dx,
+                       cfg.dx, cfg.dx);
+  atmos::AmbientProfile amb;
+  amb.wind_u = cfg.wind;
+  coupling::CoupledOptions copt;
+  copt.refine = cfg.refine;
+  copt.two_way = two_way;
+  const double domain = cfg.atmos_n * cfg.dx;
+  const int fn = cfg.atmos_n * cfg.refine;
+  const fire::FuelMap fuel =
+      fire::uniform_fuel(fn, fn, fire::kFuelShortGrass);
+
+  std::vector<std::unique_ptr<coupling::CoupledModel>> models;
+  util::Rng rng(31);
+  for (int k = 0; k < members; ++k) {
+    auto m = std::make_unique<coupling::CoupledModel>(
+        g, amb, fuel, util::Array2D<double>(fn, fn, 0.0), copt);
+    m->ignite({levelset::Ignition{levelset::CircleIgnition{
+        0.35 * domain + rng.normal(0.0, 20.0),
+        0.5 * domain + rng.normal(0.0, 20.0), 25.0, 0.0}}});
+    models.push_back(std::move(m));
+  }
+
+  if (batched) {
+    coupling::CoupledBatchOptions bopt;
+    bopt.coupled = copt;
+    bopt.batch.band_cells = band_cells;
+    coupling::CoupledEnsembleBatch batch(
+        g, amb, fuel, util::Array2D<double>(fn, fn, 0.0), members, bopt);
+    batch.load(models);
+    double t = 0;
+    for (auto _ : state) {
+      t += window;
+      batch.advance_to(t, cfg.dt);
+    }
+    state.counters["band_size"] = batch.fire().band_size();
+  } else {
+    coupling::CoupledStepInfo info;
+    double t = 0;
+    for (auto _ : state) {
+      t += window;
+      while (models[0]->time() < t - 1e-9)
+        for (auto& m : models) m->step(cfg.dt, info);
+    }
+  }
+  state.counters["members"] = members;
+  state.counters["band_cells"] = band_cells;
+  state.counters["two_way"] = two_way ? 1 : 0;
+  state.counters["batched"] = batched ? 1 : 0;
+}
+BENCHMARK(BM_Coupled_Advance)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({16, 8, 1, 0})   // reference baseline for the gate pair
+    ->Args({16, 8, 1, 1})   // batched, narrow band
+    ->Args({16, 0, 1, 1})   // batched, full-grid sweeps
+    ->Args({16, 8, 0, 1})   // batched, one-way (no flux feedback)
+    ->Args({4, 8, 1, 1})    // small ensemble
+    ->Iterations(1);
 
 BENCHMARK_MAIN();

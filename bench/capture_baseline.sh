@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Captures the Fig. 2 / EnKF / LA-kernel benchmark baseline into JSON files
+# Captures the Fig. 1 coupled / Fig. 2 / EnKF / LA-kernel benchmark baseline
+# into JSON files
 # for an OpenMP-on Release build and a serial (-DWFIRE_OPENMP=OFF) Release
 # build. Merge the four outputs into BENCH_<tag>.json with merge_baseline.py.
 #
@@ -10,7 +11,7 @@ serial_dir=$2
 outdir=$3
 mkdir -p "$outdir"
 
-for bench in bench_fig2_scaling bench_sub_enkf bench_sub_la bench_sub_qr; do
+for bench in bench_fig1_coupled bench_fig2_scaling bench_sub_enkf bench_sub_la bench_sub_qr; do
   "$omp_dir/bench/$bench" \
     --benchmark_out="$outdir/${bench}_omp.json" \
     --benchmark_out_format=json >/dev/null

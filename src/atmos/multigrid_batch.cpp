@@ -1,0 +1,147 @@
+#include "atmos/multigrid_batch.h"
+
+#include "atmos/poisson_batch.h"
+#include "util/omp_compat.h"
+
+#include <algorithm>
+
+namespace wfire::atmos {
+
+namespace {
+// Same coarsening rule as multigrid.cpp (kept private there).
+bool can_coarsen(const grid::Grid3D& g) {
+  return g.nx % 2 == 0 && g.ny % 2 == 0 && g.nz % 2 == 0 && g.nx >= 4 &&
+         g.ny >= 4 && g.nz >= 4;
+}
+
+inline std::size_t cell_of(int i, int j, int k, int nx, int ny) {
+  return (static_cast<std::size_t>(k) * ny + j) * nx + i;
+}
+}  // namespace
+
+void mg_restrict_batch(const grid::Grid3D& coarse_g, int stride,
+                       const double* fine, double* coarse) {
+  const int nx = coarse_g.nx, ny = coarse_g.ny, nz = coarse_g.nz;
+  const int fnx = 2 * nx, fny = 2 * ny;
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        double* out = coarse + cell_of(i, j, k, nx, ny) * stride;
+        for (int m = 0; m < stride; ++m) out[m] = 0.0;
+        // Same 8-cell summation order as mg_restrict (a innermost).
+        for (int c = 0; c < 2; ++c)
+          for (int b = 0; b < 2; ++b)
+            for (int a = 0; a < 2; ++a) {
+              const double* f =
+                  fine +
+                  cell_of(2 * i + a, 2 * j + b, 2 * k + c, fnx, fny) * stride;
+              WFIRE_PRAGMA_OMP(omp simd)
+              for (int m = 0; m < stride; ++m) out[m] += f[m];
+            }
+        WFIRE_PRAGMA_OMP(omp simd)
+        for (int m = 0; m < stride; ++m) out[m] = 0.125 * out[m];
+      }
+}
+
+void mg_prolong_add_batch(const grid::Grid3D& fine_g, int stride,
+                          const double* coarse, double* fine,
+                          const double* freeze_mask) {
+  const int nx = fine_g.nx, ny = fine_g.ny, nz = fine_g.nz;
+  const int cnx = nx / 2, cny = ny / 2;
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        double* f = fine + cell_of(i, j, k, nx, ny) * stride;
+        const double* c =
+            coarse + cell_of(i / 2, j / 2, k / 2, cnx, cny) * stride;
+        if (freeze_mask) {
+          WFIRE_PRAGMA_OMP(omp simd)
+          for (int m = 0; m < stride; ++m) f[m] += freeze_mask[m] * c[m];
+        } else {
+          WFIRE_PRAGMA_OMP(omp simd)
+          for (int m = 0; m < stride; ++m) f[m] += c[m];
+        }
+      }
+}
+
+MultigridBatch::MultigridBatch(const grid::Grid3D& fine, int members,
+                               int stride, MultigridOptions opt)
+    : opt_(opt), members_(members), stride_(stride) {
+  grids_.push_back(fine);
+  while (can_coarsen(grids_.back())) {
+    const grid::Grid3D& g = grids_.back();
+    grids_.emplace_back(g.nx / 2, g.ny / 2, g.nz / 2, g.dx * 2, g.dy * 2,
+                        g.dz * 2);
+  }
+  for (const auto& g : grids_) {
+    const std::size_t n =
+        static_cast<std::size_t>(g.nx) * g.ny * g.nz * stride_;
+    rhs_buf_.emplace_back(n, 0.0);
+    phi_buf_.emplace_back(n, 0.0);
+    res_buf_.emplace_back(n, 0.0);
+  }
+  mask_.assign(static_cast<std::size_t>(stride_), 0.0);
+  max_r_.assign(static_cast<std::size_t>(stride_), 0.0);
+}
+
+void MultigridBatch::vcycle(std::size_t level, const double* rhs, double* phi,
+                            const double* freeze_mask) {
+  const grid::Grid3D& g = grids_[level];
+  if (level + 1 == grids_.size()) {
+    for (int it = 0; it < opt_.coarse_iters; ++it)
+      rbgs_sweep_batch(g, stride_, rhs, phi, 1.2, freeze_mask);
+    return;
+  }
+  for (int s = 0; s < opt_.pre_smooth; ++s)
+    rbgs_sweep_batch(g, stride_, rhs, phi, opt_.omega, freeze_mask);
+
+  residual_batch(g, stride_, phi, rhs, res_buf_[level].data(), max_r_.data());
+  mg_restrict_batch(grids_[level + 1], stride_, res_buf_[level].data(),
+                    rhs_buf_[level + 1].data());
+  std::fill(phi_buf_[level + 1].begin(), phi_buf_[level + 1].end(), 0.0);
+  // Coarse levels run unmasked: their buffers are fresh scratch and frozen
+  // lanes' corrections are dropped by the masked prolongation below.
+  vcycle(level + 1, rhs_buf_[level + 1].data(), phi_buf_[level + 1].data(),
+         nullptr);
+  mg_prolong_add_batch(g, stride_, phi_buf_[level + 1].data(), phi,
+                       freeze_mask);
+
+  for (int s = 0; s < opt_.post_smooth; ++s)
+    rbgs_sweep_batch(g, stride_, rhs, phi, opt_.omega, freeze_mask);
+}
+
+void MultigridBatch::solve(const double* rhs, double* phi, SolveStats* stats) {
+  const grid::Grid3D& g = grids_.front();
+  for (int m = 0; m < members_; ++m) stats[m] = SolveStats{};
+  // Padding lanes start frozen; their zero problem is already converged.
+  for (int m = 0; m < stride_; ++m) mask_[m] = m < members_ ? 1.0 : 0.0;
+  int remaining = members_;
+  for (int cycle = 0; cycle < opt_.max_cycles && remaining > 0; ++cycle) {
+    vcycle(0, rhs, phi, mask_.data());
+    residual_batch(g, stride_, phi, rhs, res_buf_.front().data(),
+                   max_r_.data());
+    for (int m = 0; m < members_; ++m) {
+      if (mask_[m] == 0.0) continue;
+      stats[m].iterations = cycle + 1;
+      stats[m].final_residual = max_r_[m];
+      if (max_r_[m] < opt_.tol) {
+        stats[m].converged = true;
+        mask_[m] = 0.0;
+        --remaining;
+      }
+    }
+  }
+  // remove_mean per lane, in the scalar solver's linear cell order.
+  const std::size_t cells = static_cast<std::size_t>(g.nx) * g.ny * g.nz;
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int m = 0; m < members_; ++m) {
+    double mean = 0;
+    for (std::size_t c = 0; c < cells; ++c) mean += phi[c * stride_ + m];
+    mean /= static_cast<double>(cells);
+    for (std::size_t c = 0; c < cells; ++c) phi[c * stride_ + m] -= mean;
+  }
+}
+
+}  // namespace wfire::atmos

@@ -1,0 +1,70 @@
+// Batched (structure-of-arrays) geometric multigrid for ensembles of
+// pressure Poisson problems: one V-cycle serves all M members per level,
+// with the batched red-black smoother from poisson_batch plus batched
+// 8-cell restriction and piecewise-constant prolongation. Layout matches
+// poisson_batch: value(i, j, k, m) = data[cell * stride + m] with
+// cell = (k * ny + j) * nx + i and stride >= members; padding lanes must
+// hold zero rhs/phi (the all-zero problem is a fixed point of every
+// component).
+//
+// Per member the arithmetic and operation order are exactly multigrid.cpp's,
+// so solve() is bitwise-equal to running Multigrid::solve per member. The
+// scalar solver stops cycling per problem as soon as its residual meets tol;
+// members converging at different cycle counts are reproduced with a
+// freeze mask: once a member measures converged, its finest-level updates
+// (smoother and prolongation) are multiplied by 0.0 while the others keep
+// cycling. Coarse-level buffers are per-cycle scratch (zeroed each descent)
+// and every operation is lane-diagonal, so frozen lanes need no masking
+// below the finest level — their coarse corrections are computed and then
+// discarded by the masked prolongation.
+#pragma once
+
+#include <vector>
+
+#include "atmos/multigrid.h"
+
+namespace wfire::atmos {
+
+class MultigridBatch {
+ public:
+  // stride >= members; normally members rounded up to the SIMD pad used by
+  // the rest of the batched ensemble.
+  MultigridBatch(const grid::Grid3D& fine, int members, int stride,
+                 MultigridOptions opt = {});
+
+  // Solves Laplacian(phi_m) = rhs_m for every member; phi holds the initial
+  // guesses (warm starts) and the solutions. stats must have room for
+  // `members` entries; each records that member's cycle count and final
+  // residual exactly as the scalar solver would.
+  void solve(const double* rhs, double* phi, SolveStats* stats);
+
+  [[nodiscard]] int levels() const { return static_cast<int>(grids_.size()); }
+  [[nodiscard]] int members() const { return members_; }
+  [[nodiscard]] int stride() const { return stride_; }
+
+ private:
+  void vcycle(std::size_t level, const double* rhs, double* phi,
+              const double* freeze_mask);
+
+  MultigridOptions opt_;
+  int members_ = 0;
+  int stride_ = 0;
+  std::vector<grid::Grid3D> grids_;  // [0] = finest
+  // Per-level SoA scratch, each sized cells(level) * stride.
+  std::vector<std::vector<double>> rhs_buf_, phi_buf_, res_buf_;
+  std::vector<double> mask_;   // finest-level freeze mask, length stride
+  std::vector<double> max_r_;  // per-lane residual max-norms, length stride
+};
+
+// Batched restriction / prolongation for cell-centered factor-2 coarsening
+// (exposed for unit tests). Summation order per lane matches mg_restrict /
+// mg_prolong_add. mg_prolong_add_batch skips lanes whose freeze_mask entry
+// is 0.0 via the same multiply-by-mask trick as the batched smoother;
+// freeze_mask may be nullptr.
+void mg_restrict_batch(const grid::Grid3D& coarse_g, int stride,
+                       const double* fine, double* coarse);
+void mg_prolong_add_batch(const grid::Grid3D& fine_g, int stride,
+                          const double* coarse, double* fine,
+                          const double* freeze_mask);
+
+}  // namespace wfire::atmos

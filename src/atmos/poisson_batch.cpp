@@ -17,7 +17,7 @@ inline std::size_t cell_of(int i, int j, int k, int nx, int ny) {
 }  // namespace
 
 void rbgs_sweep_batch(const grid::Grid3D& g, int stride, const double* rhs,
-                      double* phi, double omega) {
+                      double* phi, double omega, const double* freeze_mask) {
   const int nx = g.nx, ny = g.ny, nz = g.nz;
   const double cx = 1.0 / (g.dx * g.dx);
   const double cy = 1.0 / (g.dy * g.dy);
@@ -48,13 +48,24 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
           double diag = 2 * cx + 2 * cy;
           if (zl) diag += cz;
           if (zr) diag += cz;
-          WFIRE_PRAGMA_OMP(omp simd)
-          for (int m = 0; m < stride; ++m) {
-            double off = cx * (xl[m] + xr[m]) + cy * (yl[m] + yr[m]);
-            if (zl) off += cz * zl[m];
-            if (zr) off += cz * zr[m];
-            const double gs = (off - b[m]) / diag;
-            p[m] += omega * (gs - p[m]);
+          if (freeze_mask) {
+            WFIRE_PRAGMA_OMP(omp simd)
+            for (int m = 0; m < stride; ++m) {
+              double off = cx * (xl[m] + xr[m]) + cy * (yl[m] + yr[m]);
+              if (zl) off += cz * zl[m];
+              if (zr) off += cz * zr[m];
+              const double gs = (off - b[m]) / diag;
+              p[m] += freeze_mask[m] * (omega * (gs - p[m]));
+            }
+          } else {
+            WFIRE_PRAGMA_OMP(omp simd)
+            for (int m = 0; m < stride; ++m) {
+              double off = cx * (xl[m] + xr[m]) + cy * (yl[m] + yr[m]);
+              if (zl) off += cz * zl[m];
+              if (zr) off += cz * zr[m];
+              const double gs = (off - b[m]) / diag;
+              p[m] += omega * (gs - p[m]);
+            }
           }
         }
       }

@@ -17,8 +17,15 @@
 namespace wfire::atmos {
 
 // One red-black Gauss-Seidel sweep with relaxation omega over all members.
+// With freeze_mask != nullptr (length >= stride, entries 1.0 or 0.0) the
+// update becomes p[m] += mask[m] * (omega * (gs - p[m])): lanes with mask
+// 0.0 are left bitwise untouched, lanes with mask 1.0 get exactly the
+// unmasked update (multiplication by 1.0 is exact in IEEE arithmetic).
+// MultigridBatch uses this to freeze members that converged at an earlier
+// V-cycle count than their batch-mates.
 void rbgs_sweep_batch(const grid::Grid3D& g, int stride, const double* rhs,
-                      double* phi, double omega);
+                      double* phi, double omega,
+                      const double* freeze_mask = nullptr);
 
 // r = rhs - Laplacian(phi) per member; writes each member's max-norm into
 // max_r (length >= stride; padding lanes get 0).

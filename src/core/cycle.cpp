@@ -88,23 +88,42 @@ void AssimilationCycle::initialize(
   });
 }
 
-bool AssimilationCycle::batchable() const {
-  if (models_.empty()) return false;
+const char* to_string(FallbackReason r) {
+  switch (r) {
+    case FallbackReason::kNone: return "none";
+    case FallbackReason::kModeReference: return "mode_reference";
+    case FallbackReason::kEmpty: return "empty";
+    case FallbackReason::kTimeSkew: return "time_skew";
+    case FallbackReason::kReinitSkew: return "reinit_skew";
+  }
+  return "unknown";
+}
+
+FallbackReason AssimilationCycle::batch_blocker() const {
+  if (models_.empty()) return FallbackReason::kEmpty;
   const double t0 = models_.front()->state().time;
   const int r0 = models_.front()->steps_since_reinit();
   for (const auto& m : models_) {
-    if (m->has_pending_ignitions()) return false;
-    if (std::abs(m->state().time - t0) > 1e-9) return false;
-    if (m->steps_since_reinit() != r0) return false;
+    if (std::abs(m->state().time - t0) > 1e-9)
+      return FallbackReason::kTimeSkew;
+    if (m->steps_since_reinit() != r0) return FallbackReason::kReinitSkew;
   }
-  return true;
+  return FallbackReason::kNone;
 }
 
 void AssimilationCycle::advance_to(double time) {
   const AdvanceMode mode = opt_.advance == AdvanceMode::kAuto
                                ? default_advance_mode()
                                : opt_.advance;
-  const bool batched = mode == AdvanceMode::kBatched && batchable();
+  bool batched = false;
+  if (mode == AdvanceMode::kBatched) {
+    const FallbackReason blocker = batch_blocker();
+    batched = blocker == FallbackReason::kNone;
+    last_fallback_reason_ = blocker;
+    if (!batched) ++fallback_count_;
+  } else {
+    last_fallback_reason_ = FallbackReason::kModeReference;
+  }
   last_advance_batched_ = batched;
   if (batched) {
     runner_.run_batch_phase("advance", [&] {

@@ -23,6 +23,20 @@ namespace wfire::core {
 
 enum class FilterKind { kStandardEnKF, kMorphingEnKF };
 
+// Why an advance_to() used the per-member reference path instead of the
+// batched SoA advance. kNone = it batched; kModeReference = reference mode
+// was selected (not a fallback); the rest are genuine fallbacks — the
+// batched path was requested but a precondition failed.
+enum class FallbackReason {
+  kNone,           // batched advance ran
+  kModeReference,  // reference path selected by mode, not a fallback
+  kEmpty,          // initialize() has not built an ensemble yet
+  kTimeSkew,       // members out of time lockstep
+  kReinitSkew,     // members in different redistancing phases
+};
+
+[[nodiscard]] const char* to_string(FallbackReason r);
+
 struct CycleOptions {
   int members = 25;              // the paper's Fig. 4 ensemble size
   double dt = 0.5;               // model step [s] (paper Sec. 2.3)
@@ -99,6 +113,16 @@ class AssimilationCycle {
   [[nodiscard]] bool last_advance_batched() const {
     return last_advance_batched_;
   }
+  // Why the last advance_to() did not batch (kNone when it did). A silent
+  // fallback looks identical to the batched path from the outside — these
+  // make it observable so drivers/tests can assert the fast path actually
+  // ran.
+  [[nodiscard]] FallbackReason last_fallback_reason() const {
+    return last_fallback_reason_;
+  }
+  // Number of advances where the batched path was requested but a
+  // precondition failed (excludes reference-by-mode runs).
+  [[nodiscard]] long fallback_count() const { return fallback_count_; }
 
   // Mean over members of the burning-centroid distance to a reference psi.
   [[nodiscard]] double mean_position_error(
@@ -116,9 +140,10 @@ class AssimilationCycle {
   void scatter_fields(const std::vector<morphing::MorphMember>& fields,
                       double time);
   void roundtrip_through_files();
-  // True when every member shares the model time and redistancing phase and
-  // holds no delayed ignitions — the preconditions of the batched advance.
-  [[nodiscard]] bool batchable() const;
+  // First failed precondition of the batched advance (kNone = batchable).
+  // Delayed ignitions are no longer a blocker: EnsembleBatch carries each
+  // member's queue in-batch and applies it as it comes due.
+  [[nodiscard]] FallbackReason batch_blocker() const;
 
   grid::Grid2D grid_;
   fire::FuelMap fuel_;
@@ -133,6 +158,8 @@ class AssimilationCycle {
   std::vector<fire::FireOutputs> out_scratch_;  // reference-path flux reuse
   std::unique_ptr<EnsembleBatch> batch_;        // lazily built SoA advance
   bool last_advance_batched_ = false;
+  FallbackReason last_fallback_reason_ = FallbackReason::kNone;
+  long fallback_count_ = 0;
   morphing::MorphingEnKF menkf_;
   la::Workspace la_ws_;  // analysis scratch when opt_.la_workspace is null
 };

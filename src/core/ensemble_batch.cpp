@@ -82,6 +82,7 @@ EnsembleBatch::EnsembleBatch(const grid::Grid2D& g, const fire::FuelMap& fuel,
   fuel_.assign(lay_.size(), 0.0);  // padding lanes: no fuel -> speed 0
   wind_u_.assign(lay_.stride, 0.0);
   wind_v_.assign(lay_.stride, 0.0);
+  pending_.assign(static_cast<std::size_t>(members_), {});
   band_pos_.assign(lay_.cells(), -1);
 
   if (bopt_.band_cells > 0) {
@@ -103,24 +104,27 @@ void EnsembleBatch::set_member_wind(int k, double u, double v) {
 
 void EnsembleBatch::load(
     const std::vector<std::unique_ptr<fire::FireModel>>& models) {
+  std::vector<fire::FireModel*> raw(models.size());
+  for (std::size_t k = 0; k < models.size(); ++k) raw[k] = models[k].get();
+  load(raw);
+}
+
+void EnsembleBatch::load(const std::vector<fire::FireModel*>& models) {
   if (static_cast<int>(models.size()) != members_)
     throw std::invalid_argument("EnsembleBatch: load with wrong member count");
   time_ = models.front()->state().time;
   steps_since_reinit_ = models.front()->steps_since_reinit();
-  for (const auto& m : models) {
+  for (const auto* m : models) {
     if (std::abs(m->state().time - time_) > 1e-9)
       throw std::invalid_argument(
           "EnsembleBatch: members must share the model time");
     if (m->steps_since_reinit() != steps_since_reinit_)
       throw std::invalid_argument(
           "EnsembleBatch: members must share the reinit phase");
-    if (m->has_pending_ignitions())
-      throw std::invalid_argument(
-          "EnsembleBatch: pending (delayed) ignitions need the reference "
-          "path");
   }
   const std::size_t cells = lay_.cells();
   const int stride = lay_.stride;
+  pending_.assign(static_cast<std::size_t>(members_), {});
   for (int k = 0; k < members_; ++k) {
     const double* ps = models[k]->state().psi.data();
     const double* tg = models[k]->state().tig.data();
@@ -130,9 +134,45 @@ void EnsembleBatch::load(
       tig_[c * stride + k] = tg[c];
       fuel_[c * stride + k] = ff[c];
     }
+    pending_[k] = models[k]->pending_ignitions();
   }
   travel_ = 0;
+  travel_since_reinit_ = 0;
   rebuild_band();
+}
+
+// Applies each member's due delayed ignitions with the reference path's
+// arithmetic (FireModel::apply_pending_ignitions): signed distance of the
+// due union, min-merged into psi, then tig = now wherever psi < 0 and the
+// node has not ignited. Returns true if any member's field changed (the
+// band must then be rebuilt before the sweep).
+bool EnsembleBatch::apply_due_ignitions() {
+  bool any = false;
+  const std::size_t cells = lay_.cells();
+  const int stride = lay_.stride;
+  for (int k = 0; k < members_; ++k) {
+    auto& queue = pending_[k];
+    if (queue.empty()) continue;
+    std::vector<levelset::Ignition> due, later;
+    for (const auto& ign : queue) {
+      if (levelset::ignition_time(ign) <= time_)
+        due.push_back(ign);
+      else
+        later.push_back(ign);
+    }
+    if (due.empty()) continue;
+    queue = std::move(later);
+    levelset::initialize_signed_distance(grid_, due, ignite_scratch_);
+    const double* pn = ignite_scratch_.data();
+    for (std::size_t c = 0; c < cells; ++c) {
+      double& p = psi_[c * stride + k];
+      if (pn[c] < p) p = pn[c];
+      if (p < 0 && tig_[c * stride + k] == fire::kNotIgnited)
+        tig_[c * stride + k] = time_;
+    }
+    any = true;
+  }
+  return any;
 }
 
 void EnsembleBatch::rebuild_band() {
@@ -177,15 +217,38 @@ void EnsembleBatch::advance_to(double time, double dt) {
 }
 
 void EnsembleBatch::step(double dt) {
+  advance_fields(dt, wind_u_.data(), wind_v_.data(), /*field_wind=*/false);
+  maybe_reinit();
+}
+
+void EnsembleBatch::coupled_step(double dt, const double* wind_u_field,
+                                 const double* wind_v_field,
+                                 double* sensible_flux, double* latent_flux) {
+  const double t_before = time_;
+  advance_fields(dt, wind_u_field, wind_v_field, /*field_wind=*/true);
+  accumulate_fluxes(t_before, dt, sensible_flux, latent_flux);
+  maybe_reinit();
+}
+
+void EnsembleBatch::advance_fields(double dt, const double* wind_u,
+                                   const double* wind_v, bool field_wind) {
   const int stride = lay_.stride;
   const double h = std::max(grid_.dx, grid_.dy);
+  if (apply_due_ignitions() && band_width_m_ > 0) rebuild_band();
   if (band_width_m_ > 0 && travel_ + h >= rebuild_margin_m_) rebuild_band();
   const int nband = static_cast<int>(band_.size());
   const int* band = band_.data();
 
-  const double smax = fire::spread_field_batch(
-      grid_, lay_, psi_.data(), fuel_.data(), wind_u_.data(), wind_v_.data(),
-      tables_, dzdx_, dzdy_, opt_.min_fuel_frac, band, nband, speed_.data());
+  const double smax =
+      field_wind
+          ? fire::spread_field_batch_field_wind(
+                grid_, lay_, psi_.data(), fuel_.data(), wind_u, wind_v,
+                tables_, dzdx_, dzdy_, opt_.min_fuel_frac, band, nband,
+                speed_.data())
+          : fire::spread_field_batch(grid_, lay_, psi_.data(), fuel_.data(),
+                                     wind_u, wind_v, tables_, dzdx_, dzdy_,
+                                     opt_.min_fuel_frac, band, nband,
+                                     speed_.data());
 
   // Pre-step psi on the band (the ignition-time crossing reference).
 WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
@@ -237,12 +300,69 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static) reduction(max : max_drop))
     }
   }
 
-  travel_ += std::max(smax * dt, max_drop);
+  step_travel_ = std::max(smax * dt, max_drop);
+  travel_ += step_travel_;
+}
 
-  if (opt_.reinit_interval > 0 &&
-      ++steps_since_reinit_ >= opt_.reinit_interval) {
+// The fluxes of FireModel::step_into's post-frontal heat-release loop as a
+// full-grid cells x members sweep: identical per-lane arithmetic, reading
+// only tig and the step times, and refreshing the fuel fraction everywhere a
+// lane burns (the reference does this every step too).
+void EnsembleBatch::accumulate_fluxes(double t_before, double dt,
+                                      double* sensible, double* latent) {
+  const std::size_t cells = lay_.cells();
+  const int stride = lay_.stride;
+  const double time_now = time_;
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (std::ptrdiff_t c = 0; c < static_cast<std::ptrdiff_t>(cells); ++c) {
+    double* so = sensible + static_cast<std::size_t>(c) * stride;
+    double* lo = latent + static_cast<std::size_t>(c) * stride;
+    if (!tables_.burnable[c]) {
+      for (int k = 0; k < stride; ++k) {
+        so[k] = 0.0;
+        lo[k] = 0.0;
+      }
+      continue;
+    }
+    const double tau = tables_.tau[c], w0 = tables_.w0[c],
+                 heat_c = tables_.h[c], lf = tables_.latent_fraction[c];
+    const double* tg = &tig_[static_cast<std::size_t>(c) * stride];
+    double* ff = &fuel_[static_cast<std::size_t>(c) * stride];
+    for (int k = 0; k < stride; ++k) {
+      const double ti = tg[k];
+      if (ti == fire::kNotIgnited || ti > time_now) {
+        so[k] = 0.0;
+        lo[k] = 0.0;
+        continue;
+      }
+      const double age_now = time_now - ti;
+      const double age_before = std::max(t_before - ti, 0.0);
+      const double f_before = std::exp(-age_before / tau);
+      const double f_now = std::exp(-age_now / tau);
+      ff[k] = f_now;
+      const double burned_mass = w0 * (f_before - f_now);  // [kg/m^2]
+      const double heat = burned_mass * heat_c / dt;       // [W/m^2]
+      so[k] = heat * (1.0 - lf);
+      lo[k] = heat * lf;
+    }
+  }
+}
+
+void EnsembleBatch::maybe_reinit() {
+  if (opt_.reinit_interval <= 0) return;
+  bool due = ++steps_since_reinit_ >= opt_.reinit_interval;
+  if (band_width_m_ > 0 && bopt_.reinit_travel_frac > 0) {
+    // Band cadence: also redistance once the front has eaten a set fraction
+    // of the band width, so a front outrunning the step cadence cannot
+    // stale the frozen far field no matter how reinit_interval was picked.
+    travel_since_reinit_ += step_travel_;
+    due = due ||
+          travel_since_reinit_ >= bopt_.reinit_travel_frac * band_width_m_;
+  }
+  if (due) {
     reinitialize_members();
     steps_since_reinit_ = 0;
+    travel_since_reinit_ = 0;
     if (band_width_m_ > 0) rebuild_band();
   }
 }
@@ -265,6 +385,12 @@ WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
 
 void EnsembleBatch::store(
     std::vector<std::unique_ptr<fire::FireModel>>& models) const {
+  std::vector<fire::FireModel*> raw(models.size());
+  for (std::size_t k = 0; k < models.size(); ++k) raw[k] = models[k].get();
+  store(raw);
+}
+
+void EnsembleBatch::store(const std::vector<fire::FireModel*>& models) const {
   if (static_cast<int>(models.size()) != members_)
     throw std::invalid_argument("EnsembleBatch: store with wrong member count");
   const std::size_t cells = lay_.cells();
@@ -282,6 +408,7 @@ void EnsembleBatch::store(
     }
     models[k]->set_state(std::move(s));
     models[k]->set_steps_since_reinit(steps_since_reinit_);
+    models[k]->set_pending_ignitions(pending_[k]);
   }
 }
 

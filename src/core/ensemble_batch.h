@@ -16,15 +16,14 @@
 // FireModel; with the band on, the zero contour and ignition times agree to
 // rounding while the far field lags between redistancing calls.
 //
-// Cadence caveat: the full-grid reference lets psi decrease *everywhere*
-// S > 0 — far ahead of the front the field drifts down between
-// redistancings, so cells there cross zero slightly earlier than the
-// geometric front arrival. The band freezes that far field and so discards
-// the drift (the standard narrow-band treatment). Both artifacts are erased
-// by each fast-sweep redistancing, so band and reference agree when the
-// front travels a modest fraction of the band width per reinit interval
-// (reinit_interval * dt * smax small against band_cells * h); with very
-// long intervals the reference front runs ahead of the banded one.
+// Redistancing cadence: with the band on, reinitialization also fires when
+// the accumulated front travel since the last redistancing reaches
+// reinit_travel_frac * band width — at the latest every reinit_interval
+// steps like the reference, earlier when the front outruns that. The
+// band/reference agreement therefore no longer depends on picking
+// reinit_interval conservatively for the spread rate. At band_cells = 0
+// only the step-count cadence runs, keeping the sweep bitwise-equal to the
+// reference.
 //
 // Steady state allocates nothing: the SoA fields are sized at construction
 // and the compact band scratch reuses its high-water capacity across
@@ -73,6 +72,16 @@ struct EnsembleBatchOptions {
   // this (4 doubles = one AVX2 vector). Padding lanes carry benign values
   // through the same arithmetic.
   int simd_pad = 4;
+  // With the band on, additionally redistance psi once the front has
+  // traveled this fraction of the band width since the last
+  // reinitialization — a safety trigger on top of the reference's
+  // reinit_interval step cadence (<= 0 disables it). At the default 1.0 it
+  // fires only when the front outruns the step cadence entirely (a full
+  // band width between redistancings), so a well-chosen reinit_interval
+  // behaves exactly as in the reference. Ignored at band_cells = 0, where
+  // the step-count cadence alone keeps the sweep bitwise-equal to the
+  // reference.
+  double reinit_travel_frac = 1.0;
 };
 
 // Band-cell default from the environment (WFIRE_BAND_CELLS, >= 0; unset =
@@ -92,14 +101,18 @@ class EnsembleBatch {
   [[nodiscard]] double time() const { return time_; }
   [[nodiscard]] int band_size() const { return static_cast<int>(band_.size()); }
   [[nodiscard]] const EnsembleBatchOptions& options() const { return bopt_; }
+  [[nodiscard]] const levelset::BatchLayout& layout() const { return lay_; }
 
   // Per-member uniform wind forcing [m/s] (the assimilation-cycle regime).
   void set_member_wind(int k, double u, double v);
 
   // Packs the models' states into the SoA fields. All members must share
   // the model time and the reinitialization phase (they do when advanced in
-  // lockstep); throws otherwise.
+  // lockstep); throws otherwise. Delayed (pending) ignitions are carried
+  // in-batch: each member's queue is applied inside step() when its time
+  // arrives, with the reference path's min-merge arithmetic.
   void load(const std::vector<std::unique_ptr<fire::FireModel>>& models);
+  void load(const std::vector<fire::FireModel*>& models);
 
   // Advances all members to `time` in steps of `dt` (the last step is
   // shortened to land exactly). Matches FireModel::step semantics: spread
@@ -108,9 +121,23 @@ class EnsembleBatch {
   // redistancing.
   void advance_to(double time, double dt);
 
+  // One coupled step: per-member wind *fields* in the SoA layout
+  // (cell * stride + member, fire-mesh node winds sampled from each
+  // member's atmosphere) instead of uniform member rows, plus a full-grid
+  // heat-flux pass that writes each member's sensible/latent flux [W/m^2]
+  // into the SoA outputs (cell * stride + member, zero where not burning —
+  // FireModel::step_into's flux arithmetic per lane). The caller owns the
+  // stepping loop, interleaving atmosphere advances between fire steps
+  // (coupling/coupled_batch).
+  void coupled_step(double dt, const double* wind_u_field,
+                    const double* wind_v_field, double* sensible_flux,
+                    double* latent_flux);
+
   // Writes the advanced states back through FireModel::set_state (which
-  // refreshes each model's fuel fraction from tig).
+  // refreshes each model's fuel fraction from tig) and restores any
+  // still-pending delayed ignitions.
   void store(std::vector<std::unique_ptr<fire::FireModel>>& models) const;
+  void store(const std::vector<fire::FireModel*>& models) const;
 
   // Test access: copies member k's field out of the SoA storage.
   [[nodiscard]] util::Array2D<double> psi_of(int k) const;
@@ -118,6 +145,12 @@ class EnsembleBatch {
 
  private:
   void step(double dt);
+  void advance_fields(double dt, const double* wind_u, const double* wind_v,
+                      bool field_wind);
+  bool apply_due_ignitions();
+  void accumulate_fluxes(double t_before, double dt, double* sensible,
+                         double* latent);
+  void maybe_reinit();
   void rebuild_band();
   void reinitialize_members();
 
@@ -128,6 +161,8 @@ class EnsembleBatch {
   int members_ = 0;
   double time_ = 0;
   int steps_since_reinit_ = 0;
+  double travel_since_reinit_ = 0;  // front travel [m] for the band cadence
+  double step_travel_ = 0;          // travel of the last step
 
   fire::SpreadTables tables_;
   util::Array2D<double> dzdx_, dzdy_;
@@ -136,6 +171,9 @@ class EnsembleBatch {
   std::vector<double> psi_, tig_, fuel_;
   // Per-member forcing rows (length stride; padding lanes 0).
   std::vector<double> wind_u_, wind_v_;
+  // Per-member delayed-ignition queues, applied in-batch as they come due.
+  std::vector<std::vector<levelset::Ignition>> pending_;
+  util::Array2D<double> ignite_scratch_;
 
   // Narrow band: sorted cell list, cell -> band position (-1 outside), and
   // the accumulated front travel [m] since the last rebuild.

@@ -1,0 +1,339 @@
+#include "coupling/coupled_batch.h"
+
+#include "util/omp_compat.h"
+
+#include <stdexcept>
+
+#include "grid/interp.h"
+
+namespace wfire::coupling {
+
+namespace {
+
+inline int wrap(int i, int n) { return (i + n) % n; }
+
+inline std::size_t cell3(int nx, int ny, int i, int j, int k) {
+  return (static_cast<std::size_t>(k) * ny + j) * nx + i;
+}
+
+int padded_stride(int members, const core::EnsembleBatchOptions& bopt) {
+  const int pad = std::max(1, bopt.simd_pad);
+  return (members + pad - 1) / pad * pad;
+}
+
+// WrfLite overrides the multigrid tolerance with the projection tolerance;
+// the batched solver must do the same to reproduce its cycle counts.
+atmos::MultigridOptions projection_mg(const CoupledBatchOptions& opt) {
+  atmos::MultigridOptions mg = opt.coupled.atmos_opt.mg;
+  mg.tol = opt.coupled.atmos_opt.projection_tol;
+  return mg;
+}
+
+}  // namespace
+
+CoupledEnsembleBatch::CoupledEnsembleBatch(const grid::Grid3D& atmos_grid,
+                                           const atmos::AmbientProfile& ambient,
+                                           fire::FuelMap fuel,
+                                           util::Array2D<double> terrain,
+                                           int members, CoupledBatchOptions opt)
+    : pair_(make_pairing(atmos_grid, opt.coupled.refine)),
+      agrid_(atmos_grid),
+      amb_(ambient),
+      opt_(opt),
+      members_(members),
+      stride_(padded_stride(members, opt.batch)),
+      fire_(pair_.fire, fuel, terrain, opt.coupled.fire_opt, members,
+            opt.batch),
+      inserter_(atmos_grid, opt.coupled.flux),
+      mg_(atmos_grid, members, stride_, projection_mg(opt)) {
+  if (members_ < 1)
+    throw std::invalid_argument("CoupledEnsembleBatch: members < 1");
+  astate_.resize(static_cast<std::size_t>(members_));
+  for (auto& s : astate_) {
+    s = atmos::AtmosState(agrid_);
+    atmos::initialize_ambient(agrid_, amb_, s);
+  }
+  pred_.assign(static_cast<std::size_t>(members_),
+               atmos::AtmosState(agrid_));
+  tend1_.assign(static_cast<std::size_t>(members_),
+                atmos::Tendencies(agrid_));
+  tend2_.assign(static_cast<std::size_t>(members_),
+                atmos::Tendencies(agrid_));
+  proj_stats_.assign(static_cast<std::size_t>(members_), {});
+  info_.assign(static_cast<std::size_t>(members_), {});
+
+  const std::size_t hor =
+      static_cast<std::size_t>(agrid_.nx) * agrid_.ny * stride_;
+  const std::size_t fnodes =
+      static_cast<std::size_t>(pair_.fire.nx) * pair_.fire.ny * stride_;
+  const std::size_t vol =
+      static_cast<std::size_t>(agrid_.nx) * agrid_.ny * agrid_.nz * stride_;
+  uc_.assign(hor, 0.0);
+  vc_.assign(hor, 0.0);
+  wind_u_f_.assign(fnodes, 0.0);
+  wind_v_f_.assign(fnodes, 0.0);
+  sens_f_.assign(fnodes, 0.0);
+  lat_f_.assign(fnodes, 0.0);
+  sens_c_.assign(hor, 0.0);
+  lat_c_.assign(hor, 0.0);
+  theta_src_.assign(vol, 0.0);
+  qv_src_.assign(vol, 0.0);
+  rhs_soa_.assign(vol, 0.0);
+  phi_soa_.assign(vol, 0.0);
+}
+
+void CoupledEnsembleBatch::load(
+    const std::vector<std::unique_ptr<CoupledModel>>& models) {
+  if (static_cast<int>(models.size()) != members_)
+    throw std::invalid_argument("CoupledEnsembleBatch::load: member count");
+  std::vector<fire::FireModel*> fms;
+  fms.reserve(models.size());
+  for (const auto& m : models) fms.push_back(&m->fire_model());
+  fire_.load(fms);
+  time_ = fire_.time();
+
+  const std::size_t cells =
+      static_cast<std::size_t>(agrid_.nx) * agrid_.ny * agrid_.nz;
+  for (int m = 0; m < members_; ++m) {
+    const atmos::WrfLite& a = models[static_cast<std::size_t>(m)]->atmosphere();
+    astate_[static_cast<std::size_t>(m)] = a.state();
+    const double* phi = a.projection_potential().data();
+    for (std::size_t c = 0; c < cells; ++c)
+      phi_soa_[c * stride_ + m] = phi[c];
+  }
+}
+
+void CoupledEnsembleBatch::store(
+    const std::vector<std::unique_ptr<CoupledModel>>& models) const {
+  if (static_cast<int>(models.size()) != members_)
+    throw std::invalid_argument("CoupledEnsembleBatch::store: member count");
+  std::vector<fire::FireModel*> fms;
+  fms.reserve(models.size());
+  for (const auto& m : models) fms.push_back(&m->fire_model());
+  fire_.store(fms);
+
+  const std::size_t cells =
+      static_cast<std::size_t>(agrid_.nx) * agrid_.ny * agrid_.nz;
+  atmos::Field3 phi(agrid_.nx, agrid_.ny, agrid_.nz, 0.0);
+  for (int m = 0; m < members_; ++m) {
+    atmos::WrfLite& a = models[static_cast<std::size_t>(m)]->atmosphere();
+    a.state() = astate_[static_cast<std::size_t>(m)];
+    for (std::size_t c = 0; c < cells; ++c)
+      phi.data()[c] = phi_soa_[c * stride_ + m];
+    a.set_projection_potential(phi);
+    a.set_time(time_);
+  }
+}
+
+void CoupledEnsembleBatch::step(double dt) {
+  // 1. Atmosphere -> fire: near-ground winds on the fire mesh, all members.
+  sample_winds_batch();
+
+  // 2. Fire advance + member-contiguous heat-flux pass.
+  fire_.coupled_step(dt, wind_u_f_.data(), wind_v_f_.data(), sens_f_.data(),
+                     lat_f_.data());
+
+  // 3. Fire -> atmosphere: aggregate and build decay-profile sources.
+  const bool forcing = opt_.coupled.two_way;
+  if (forcing) {
+    aggregate_flux_batch(sens_f_, sens_c_);
+    aggregate_flux_batch(lat_f_, lat_c_);
+    inserter_.insert_batch(stride_, sens_c_.data(), lat_c_.data(),
+                           theta_src_.data(), qv_src_.data());
+  }
+
+  // 4. Advance all atmospheres with batched projections.
+  advance_atmosphere(dt, forcing);
+  time_ += dt;
+}
+
+void CoupledEnsembleBatch::advance_to(double time, double dt) {
+  while (time_ < time - 1e-9) {
+    const double step_dt = std::min(dt, time - time_);
+    step(step_dt);
+  }
+}
+
+void CoupledEnsembleBatch::sample_winds_batch() {
+  const int nxa = agrid_.nx, nya = agrid_.ny;
+  // Destagger the lowest level to cell centers, member-contiguous.
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int j = 0; j < nya; ++j) {
+    for (int i = 0; i < nxa; ++i) {
+      const std::size_t base =
+          (static_cast<std::size_t>(j) * nxa + i) * stride_;
+      for (int m = 0; m < members_; ++m) {
+        double u0, v0;
+        atmos::cell_center_wind(agrid_, astate_[static_cast<std::size_t>(m)],
+                                i, j, 0, u0, v0);
+        uc_[base + m] = u0;
+        vc_[base + m] = v0;
+      }
+    }
+  }
+  // Bilinear onto the fire nodes: the weights depend only on geometry, so
+  // one locate() per node feeds every member lane. The weighted sum keeps
+  // grid::bilinear's association exactly.
+  const int fnx = pair_.fire.nx, fny = pair_.fire.ny;
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int j = 0; j < fny; ++j) {
+    for (int i = 0; i < fnx; ++i) {
+      const double px = pair_.fire.x(i);
+      const double py = pair_.fire.y(j);
+      const grid::CellLocation c = grid::locate(pair_.atmos_hor, px, py);
+      const double w00 = (1 - c.tx) * (1 - c.ty);
+      const double w10 = c.tx * (1 - c.ty);
+      const double w01 = (1 - c.tx) * c.ty;
+      const double w11 = c.tx * c.ty;
+      const std::size_t c00 =
+          (static_cast<std::size_t>(c.j) * nxa + c.i) * stride_;
+      const std::size_t c10 = c00 + static_cast<std::size_t>(stride_);
+      const std::size_t c01 =
+          c00 + static_cast<std::size_t>(nxa) * stride_;
+      const std::size_t c11 = c01 + static_cast<std::size_t>(stride_);
+      double* fu = &wind_u_f_[(static_cast<std::size_t>(j) * fnx + i) * stride_];
+      double* fv = &wind_v_f_[(static_cast<std::size_t>(j) * fnx + i) * stride_];
+      WFIRE_PRAGMA_OMP(omp simd)
+      for (int m = 0; m < stride_; ++m) {
+        fu[m] = w00 * uc_[c00 + m] + w10 * uc_[c10 + m] +
+                w01 * uc_[c01 + m] + w11 * uc_[c11 + m];
+        fv[m] = w00 * vc_[c00 + m] + w10 * vc_[c10 + m] +
+                w01 * vc_[c01 + m] + w11 * vc_[c11 + m];
+      }
+    }
+  }
+}
+
+void CoupledEnsembleBatch::aggregate_flux_batch(const std::vector<double>& fine,
+                                                std::vector<double>& coarse) {
+  // grid::restrict_average per lane: sum the refine x refine block in
+  // (b, a) order, then scale once.
+  const int r = pair_.refine;
+  const double inv = 1.0 / (static_cast<double>(r) * r);
+  const int cnx = pair_.atmos_hor.nx, cny = pair_.atmos_hor.ny;
+  const int fnx = pair_.fire.nx;
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int J = 0; J < cny; ++J) {
+    for (int I = 0; I < cnx; ++I) {
+      double* out = &coarse[(static_cast<std::size_t>(J) * cnx + I) * stride_];
+      for (int m = 0; m < stride_; ++m) out[m] = 0.0;
+      for (int b = 0; b < r; ++b) {
+        for (int a = 0; a < r; ++a) {
+          const double* f =
+              &fine[(static_cast<std::size_t>(J * r + b) * fnx + I * r + a) *
+                    stride_];
+          WFIRE_PRAGMA_OMP(omp simd)
+          for (int m = 0; m < stride_; ++m) out[m] += f[m];
+        }
+      }
+      WFIRE_PRAGMA_OMP(omp simd)
+      for (int m = 0; m < stride_; ++m) out[m] *= inv;
+    }
+  }
+}
+
+void CoupledEnsembleBatch::advance_atmosphere(double dt, bool forcing) {
+  const atmos::WrfLiteOptions& aopt = opt_.coupled.atmos_opt;
+  // Member loops are parallel at the member level; everything inside is
+  // independent per member, so the result is thread-count invariant.
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int m = 0; m < members_; ++m) {
+    const std::size_t k = static_cast<std::size_t>(m);
+    info_[k] = {};
+    info_[k].cfl = atmos::advective_cfl(agrid_, astate_[k], dt);
+    const atmos::ForcingView th =
+        forcing ? atmos::ForcingView{theta_src_.data() + m, stride_}
+                : atmos::ForcingView{};
+    const atmos::ForcingView qv =
+        forcing ? atmos::ForcingView{qv_src_.data() + m, stride_}
+                : atmos::ForcingView{};
+    atmos::compute_tendencies(agrid_, amb_, aopt.dynamics, astate_[k], th, qv,
+                              tend1_[k]);
+    if (aopt.use_rk2) {
+      pred_[k] = astate_[k];
+      atmos::apply_tendencies(agrid_, tend1_[k], dt, pred_[k]);
+    }
+  }
+  if (aopt.use_rk2) {
+    project_batch(pred_);
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+    for (int m = 0; m < members_; ++m) {
+      const std::size_t k = static_cast<std::size_t>(m);
+      const atmos::ForcingView th =
+          forcing ? atmos::ForcingView{theta_src_.data() + m, stride_}
+                  : atmos::ForcingView{};
+      const atmos::ForcingView qv =
+          forcing ? atmos::ForcingView{qv_src_.data() + m, stride_}
+                  : atmos::ForcingView{};
+      atmos::compute_tendencies(agrid_, amb_, aopt.dynamics, pred_[k], th, qv,
+                                tend2_[k]);
+      atmos::apply_tendencies(agrid_, tend1_[k], 0.5 * dt, astate_[k]);
+      atmos::apply_tendencies(agrid_, tend2_[k], 0.5 * dt, astate_[k]);
+    }
+  } else {
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+    for (int m = 0; m < members_; ++m) {
+      const std::size_t k = static_cast<std::size_t>(m);
+      atmos::apply_tendencies(agrid_, tend1_[k], dt, astate_[k]);
+    }
+  }
+  project_batch(astate_);
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int m = 0; m < members_; ++m) {
+    const std::size_t k = static_cast<std::size_t>(m);
+    info_[k].mg_cycles = proj_stats_[k].iterations;
+    info_[k].max_div_after = atmos::max_divergence(agrid_, astate_[k]);
+    info_[k].max_w = util::max_abs(astate_[k].w);
+  }
+}
+
+void CoupledEnsembleBatch::project_batch(
+    std::vector<atmos::AtmosState>& states) {
+  const int nx = agrid_.nx, ny = agrid_.ny, nz = agrid_.nz;
+  const std::size_t cells = static_cast<std::size_t>(nx) * ny * nz;
+  // rhs = div(u*) per lane, then remove_mean per lane in the scalar
+  // solver's linear cell order.
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int m = 0; m < members_; ++m) {
+    const atmos::AtmosState& s = states[static_cast<std::size_t>(m)];
+    std::size_t c = 0;
+    for (int k = 0; k < nz; ++k)
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i, ++c)
+          rhs_soa_[c * stride_ + m] = atmos::cell_divergence(agrid_, s, i, j, k);
+    double mean = 0;
+    for (c = 0; c < cells; ++c) mean += rhs_soa_[c * stride_ + m];
+    mean /= static_cast<double>(cells);
+    for (c = 0; c < cells; ++c) rhs_soa_[c * stride_ + m] -= mean;
+  }
+
+  mg_.solve(rhs_soa_.data(), phi_soa_.data(), proj_stats_.data());
+
+  // u -= grad(phi), per member from its lane of the potential.
+WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
+  for (int m = 0; m < members_; ++m) {
+    atmos::AtmosState& s = states[static_cast<std::size_t>(m)];
+    const double* phi = phi_soa_.data();
+    for (int k = 0; k < nz; ++k) {
+      for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+          const double pc = phi[cell3(nx, ny, i, j, k) * stride_ + m];
+          s.u(i, j, k) -=
+              (pc - phi[cell3(nx, ny, wrap(i - 1, nx), j, k) * stride_ + m]) /
+              agrid_.dx;
+          s.v(i, j, k) -=
+              (pc - phi[cell3(nx, ny, i, wrap(j - 1, ny), k) * stride_ + m]) /
+              agrid_.dy;
+        }
+      }
+    }
+    for (int k = 1; k < nz; ++k)
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i)
+          s.w(i, j, k) -= (phi[cell3(nx, ny, i, j, k) * stride_ + m] -
+                           phi[cell3(nx, ny, i, j, k - 1) * stride_ + m]) /
+                          agrid_.dz;
+  }
+}
+
+}  // namespace wfire::coupling

@@ -1,0 +1,123 @@
+// Batched coupled fire-atmosphere stepping: N CoupledModel members advanced
+// as fused structure-of-arrays sweeps instead of N independent step() calls.
+// Per coupled step the four phases of coupling/coupled.cpp become:
+//
+//   1. wind sampling  — one destagger + bilinear sweep over the fire mesh
+//                       with a unit-stride inner member loop (the locate()
+//                       weights are shared across members; they depend only
+//                       on geometry),
+//   2. fire advance   — core::EnsembleBatch::coupled_step (SoA level set /
+//                       ignition / fuel sweep plus the member-contiguous
+//                       heat-flux pass),
+//   3. flux feedback  — batched block-average aggregation onto the atmos
+//                       mesh and FluxInserter::insert_batch,
+//   4. atmosphere     — per-member tendencies (reading the SoA forcing
+//                       through atmos::ForcingView lanes) with the pressure
+//                       projections batched through atmos::MultigridBatch,
+//                       so one V-cycle serves all members per level.
+//
+// Per member the arithmetic and operation order match CoupledModel::step
+// exactly; with the fire narrow band off (band_cells = 0) the whole coupled
+// trajectory is bitwise-identical to stepping each CoupledModel (tested).
+// load()/store() round-trip against a vector of CoupledModels, including the
+// projection warm-start potential and any delayed ignitions, so an
+// assimilation driver can hop between the paths freely.
+//
+// Steady state allocates nothing: all SoA scratch is sized at construction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "atmos/multigrid_batch.h"
+#include "core/ensemble_batch.h"
+#include "coupling/coupled.h"
+
+namespace wfire::coupling {
+
+struct CoupledBatchOptions {
+  CoupledOptions coupled;
+  // Fire-side batching knobs (band width, SIMD pad, reinit cadence). The
+  // member count comes from the constructor argument.
+  core::EnsembleBatchOptions batch;
+};
+
+class CoupledEnsembleBatch {
+ public:
+  // Mirrors CoupledModel's explicit-fuel constructor; `members` is fixed
+  // for the batch lifetime.
+  CoupledEnsembleBatch(const grid::Grid3D& atmos_grid,
+                       const atmos::AmbientProfile& ambient,
+                       fire::FuelMap fuel, util::Array2D<double> terrain,
+                       int members, CoupledBatchOptions opt = {});
+
+  [[nodiscard]] int members() const { return members_; }
+  [[nodiscard]] int stride() const { return stride_; }
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] const MeshPairing& pairing() const { return pair_; }
+  [[nodiscard]] const core::EnsembleBatch& fire() const { return fire_; }
+  [[nodiscard]] core::EnsembleBatch& fire() { return fire_; }
+  [[nodiscard]] const atmos::AtmosState& atmos_state(int k) const {
+    return astate_[static_cast<std::size_t>(k)];
+  }
+  // Step diagnostics of member k's last atmosphere advance.
+  [[nodiscard]] const atmos::WrfLiteStepInfo& atmos_info(int k) const {
+    return info_[static_cast<std::size_t>(k)];
+  }
+
+  // Packs the members' coupled states (fire SoA fields via EnsembleBatch,
+  // atmosphere states, projection warm-start potentials, clocks). All
+  // members must share the model time and redistancing phase; delayed
+  // ignitions are carried in-batch. Throws on lockstep violations.
+  void load(const std::vector<std::unique_ptr<CoupledModel>>& models);
+
+  // Writes the advanced coupled states back (inverse of load()).
+  void store(const std::vector<std::unique_ptr<CoupledModel>>& models) const;
+
+  // One coupled step for all members (phases 1-4 above).
+  void step(double dt);
+
+  // Advances to `time` in steps of `dt`, shortening the last step to land
+  // exactly (same convention as EnsembleBatch::advance_to).
+  void advance_to(double time, double dt);
+
+ private:
+  void sample_winds_batch();
+  void aggregate_flux_batch(const std::vector<double>& fine,
+                            std::vector<double>& coarse);
+  void advance_atmosphere(double dt, bool forcing);
+  // Projects every member's `states[m]` velocity like WrfLite::project,
+  // with the Poisson solves batched; writes per-member stats.
+  void project_batch(std::vector<atmos::AtmosState>& states);
+
+  MeshPairing pair_;
+  grid::Grid3D agrid_;
+  atmos::AmbientProfile amb_;
+  CoupledBatchOptions opt_;
+  int members_ = 0;
+  int stride_ = 0;
+  double time_ = 0;
+
+  core::EnsembleBatch fire_;
+  FluxInserter inserter_;
+  atmos::MultigridBatch mg_;
+
+  // Per-member atmosphere (AoS: the tendency evaluation is stencil-heavy
+  // and stays scalar per member; only the projection solves are batched).
+  std::vector<atmos::AtmosState> astate_, pred_;
+  std::vector<atmos::Tendencies> tend1_, tend2_;
+  std::vector<atmos::SolveStats> proj_stats_;
+  std::vector<atmos::WrfLiteStepInfo> info_;
+
+  // SoA scratch. Layouts: 2-D fields (j * nx + i) * stride + m, 3-D fields
+  // ((k * ny + j) * nx + i) * stride + m.
+  std::vector<double> uc_, vc_;              // destaggered level-0 wind
+  std::vector<double> wind_u_f_, wind_v_f_;  // fire-mesh winds
+  std::vector<double> sens_f_, lat_f_;       // fire-mesh flux densities
+  std::vector<double> sens_c_, lat_c_;       // aggregated onto atmos mesh
+  std::vector<double> theta_src_, qv_src_;   // volumetric forcing
+  std::vector<double> rhs_soa_;              // projection right-hand sides
+  std::vector<double> phi_soa_;              // warm-started potentials
+};
+
+}  // namespace wfire::coupling

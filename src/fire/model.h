@@ -93,9 +93,18 @@ class FireModel {
   // round-trips.
   [[nodiscard]] int steps_since_reinit() const { return steps_since_reinit_; }
   void set_steps_since_reinit(int n) { steps_since_reinit_ = n; }
-  // True while delayed ignitions are still queued (time > 0 shapes); the
-  // batched path refuses such members and the cycle falls back to reference.
+  // True while delayed ignitions are still queued (time > 0 shapes). The
+  // batched path (core/ensemble_batch) carries the queue in-batch, so the
+  // assimilation cycle no longer needs a reference fallback for it; the
+  // accessors below are the load/store round-trip for that queue.
   [[nodiscard]] bool has_pending_ignitions() const { return !pending_.empty(); }
+  [[nodiscard]] const std::vector<levelset::Ignition>& pending_ignitions()
+      const {
+    return pending_;
+  }
+  void set_pending_ignitions(std::vector<levelset::Ignition> p) {
+    pending_ = std::move(p);
+  }
 
  private:
   void refresh_fuel_fraction();

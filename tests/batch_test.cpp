@@ -249,16 +249,45 @@ TEST(BatchVsReference, FullyBurnedMemberIsStable) {
               count_burned(bat[1]->state().tig), 3);
 }
 
-TEST(BatchVsReference, LoadRejectsPendingIgnitions) {
+TEST(BatchVsReference, DelayedIgnitionsApplyInBatchBitwise) {
+  // A member carries a delayed ignition through load(): the batch applies
+  // it mid-advance with the reference path's min-merge arithmetic, and any
+  // leftover queue survives store(). Band off -> bitwise agreement.
   const grid::Grid2D g = small_grid();
   fire::FireModelOptions fopt;
-  auto models = make_members(g, {{120, 120}}, fopt);
-  models[0]->ignite(
-      {levelset::Ignition{levelset::CircleIgnition{120.0, 120.0, 20.0, 0.0}},
-       levelset::Ignition{levelset::CircleIgnition{60.0, 60.0, 15.0, 30.0}}});
-  ASSERT_TRUE(models[0]->has_pending_ignitions());
-  EnsembleBatch batch(g, models[0]->fuel(), models[0]->terrain(), fopt, 1);
-  EXPECT_THROW(batch.load(models), std::invalid_argument);
+  const std::vector<levelset::Ignition> shapes = {
+      levelset::Ignition{levelset::CircleIgnition{120.0, 120.0, 20.0, 0.0}},
+      levelset::Ignition{levelset::CircleIgnition{60.0, 60.0, 15.0, 4.0}},
+      levelset::Ignition{levelset::CircleIgnition{180.0, 60.0, 15.0, 1e9}}};
+  auto ref = make_members(g, {{120, 120}, {100, 130}}, fopt);
+  auto bat = make_members(g, {{120, 120}, {100, 130}}, fopt);
+  ref[0]->ignite(shapes);
+  bat[0]->ignite(shapes);
+  ASSERT_TRUE(bat[0]->has_pending_ignitions());
+
+  EnsembleBatchOptions bopt;
+  bopt.band_cells = 0;
+  EnsembleBatch batch(g, ref[0]->fuel(), ref[0]->terrain(), fopt, 2, bopt);
+  batch.set_member_wind(0, 3.0, 0.0);
+  batch.set_member_wind(1, 2.5, 0.5);
+
+  advance_reference(ref, {{3.0, 0.0}, {2.5, 0.5}}, 10.0, 0.5);
+  batch.load(bat);
+  batch.advance_to(10.0, 0.5);
+  batch.store(bat);
+
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    const auto& pr = ref[k]->state().psi;
+    const auto& pb = bat[k]->state().psi;
+    for (std::size_t c = 0; c < pr.size(); ++c) {
+      ASSERT_EQ(pr.data()[c], pb.data()[c]) << "member " << k;
+      ASSERT_EQ(ref[k]->state().tig.data()[c], bat[k]->state().tig.data()[c]);
+    }
+  }
+  // The far-future shape is still pending on both paths after store().
+  EXPECT_TRUE(ref[0]->has_pending_ignitions());
+  EXPECT_TRUE(bat[0]->has_pending_ignitions());
+  EXPECT_FALSE(bat[1]->has_pending_ignitions());
 }
 
 // --- the cycle dispatch: batched path matches the reference path ---
@@ -294,6 +323,51 @@ TEST(CycleBatch, FullCycleBitwiseWithBandDisabled) {
           << "tig member " << k;
     }
   }
+}
+
+TEST(CycleBatch, DelayedIgnitionsDoNotForceFallback) {
+  // Delayed ignitions used to silently drop the cycle onto the reference
+  // path; the batch now carries them, so a full multi-phase advance must
+  // batch every time with the fallback counter staying at zero — and the
+  // two paths must still agree bitwise with the band disabled.
+  const grid::Grid2D g = small_grid();
+  const std::vector<levelset::Ignition> base = {
+      levelset::Ignition{levelset::CircleIgnition{120.0, 120.0, 20.0, 0.0}},
+      levelset::Ignition{levelset::CircleIgnition{60.0, 180.0, 15.0, 5.0}}};
+  auto run = [&](AdvanceMode mode) {
+    CycleOptions opt;
+    opt.members = 5;
+    opt.threads = 2;
+    opt.ignition_jitter = 20.0;
+    opt.advance = mode;
+    opt.band_cells = 0;
+    AssimilationCycle cycle(
+        g, fire::uniform_fuel(g.nx, g.ny, fire::kFuelShortGrass),
+        fire::terrain_flat(g), {}, opt, 21);
+    cycle.initialize(base);
+    cycle.advance_to(3.0);  // the delayed shape is still pending here
+    cycle.advance_to(12.0);
+    if (mode == AdvanceMode::kBatched) {
+      EXPECT_TRUE(cycle.last_advance_batched());
+      EXPECT_EQ(cycle.last_fallback_reason(), FallbackReason::kNone);
+      EXPECT_EQ(cycle.fallback_count(), 0);
+    } else {
+      EXPECT_EQ(cycle.last_fallback_reason(), FallbackReason::kModeReference);
+      EXPECT_EQ(cycle.fallback_count(), 0);
+    }
+    return snapshot(cycle);
+  };
+  const CycleStates batched = run(AdvanceMode::kBatched);
+  const CycleStates reference = run(AdvanceMode::kReference);
+  EXPECT_TRUE(batched.batched);
+  ASSERT_EQ(batched.psi.size(), reference.psi.size());
+  for (std::size_t k = 0; k < batched.psi.size(); ++k)
+    for (std::size_t c = 0; c < batched.psi[k].size(); ++c) {
+      ASSERT_EQ(batched.psi[k].data()[c], reference.psi[k].data()[c])
+          << "psi member " << k;
+      ASSERT_EQ(batched.tig[k].data()[c], reference.tig[k].data()[c])
+          << "tig member " << k;
+    }
 }
 
 TEST(CycleBatch, NarrowBandCycleTracksReference) {

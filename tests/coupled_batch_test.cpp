@@ -1,0 +1,348 @@
+// Batched coupled fire-atmosphere tests: MultigridBatch against N scalar
+// Multigrid solves (bitwise, including members converging at different
+// cycle counts and the warm-start sequence), the batched restriction /
+// prolongation kernels against their scalar counterparts, and
+// CoupledEnsembleBatch against per-member CoupledModel stepping (bitwise at
+// band_cells = 0, delayed ignitions carried in-batch, one-way and single
+// member configurations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "atmos/multigrid.h"
+#include "atmos/multigrid_batch.h"
+#include "coupling/coupled.h"
+#include "coupling/coupled_batch.h"
+#include "fire/fuel.h"
+#include "util/rng.h"
+
+using namespace wfire;
+
+namespace {
+
+grid::Grid3D atmos_grid() { return grid::Grid3D(8, 8, 6, 60.0, 60.0, 60.0); }
+
+// Zero-mean random cell field, deterministic per member id.
+atmos::Field3 random_rhs(const grid::Grid3D& g, std::uint64_t id,
+                         double scale) {
+  atmos::Field3 f(g.nx, g.ny, g.nz, 0.0);
+  util::Rng rng = util::Rng::stream(1234, id);
+  for (double& v : f) v = scale * rng.normal();
+  atmos::remove_mean(f);
+  return f;
+}
+
+// Packs member fields into an SoA buffer (padding lanes stay zero).
+std::vector<double> pack_soa(const std::vector<atmos::Field3>& fields,
+                             int stride) {
+  const std::size_t cells = fields.front().size();
+  std::vector<double> soa(cells * stride, 0.0);
+  for (std::size_t m = 0; m < fields.size(); ++m)
+    for (std::size_t c = 0; c < cells; ++c)
+      soa[c * stride + m] = fields[m].data()[c];
+  return soa;
+}
+
+}  // namespace
+
+// --- batched multigrid vs N scalar V-cycle solves ---
+
+TEST(MultigridBatch, SolveBitwiseMatchesScalarPerMember) {
+  const grid::Grid3D g = atmos_grid();
+  const int members = 3, stride = 4;
+  atmos::MultigridOptions opt;
+  opt.tol = 1e-6;
+
+  // Spread the rhs magnitudes so the members converge at different cycle
+  // counts — the freeze-mask path, not just the lockstep one.
+  const double scales[] = {1.0, 1e-6, 3.0};
+  std::vector<atmos::Field3> rhs, phi;
+  std::vector<atmos::SolveStats> ref_stats(members);
+  for (int m = 0; m < members; ++m) {
+    rhs.push_back(random_rhs(g, static_cast<std::uint64_t>(m) + 1, scales[m]));
+    phi.emplace_back(g.nx, g.ny, g.nz, 0.0);
+    atmos::Multigrid mg(g, opt);
+    ref_stats[m] = mg.solve(rhs[m], phi[m]);
+    EXPECT_TRUE(ref_stats[m].converged);
+  }
+  ASSERT_NE(ref_stats[0].iterations, ref_stats[1].iterations);
+
+  std::vector<double> rhs_soa = pack_soa(rhs, stride);
+  std::vector<double> phi_soa(rhs_soa.size(), 0.0);
+  std::vector<atmos::SolveStats> stats(members);
+  atmos::MultigridBatch mgb(g, members, stride, opt);
+  EXPECT_GT(mgb.levels(), 1);
+  mgb.solve(rhs_soa.data(), phi_soa.data(), stats.data());
+
+  const std::size_t cells = g.cell_count();
+  for (int m = 0; m < members; ++m) {
+    EXPECT_EQ(stats[m].iterations, ref_stats[m].iterations) << "member " << m;
+    EXPECT_EQ(stats[m].final_residual, ref_stats[m].final_residual);
+    EXPECT_EQ(stats[m].converged, ref_stats[m].converged);
+    for (std::size_t c = 0; c < cells; ++c)
+      ASSERT_EQ(phi_soa[c * stride + m], phi[m].data()[c])
+          << "member " << m << " cell " << c;
+  }
+  // Padding lane: the zero problem stays exactly zero.
+  for (std::size_t c = 0; c < cells; ++c)
+    ASSERT_EQ(phi_soa[c * stride + members], 0.0);
+}
+
+TEST(MultigridBatch, WarmStartSequenceBitwise) {
+  // Two solves back to back, the second warm-started from the first — the
+  // projection regime of WrfLite, where phi persists across steps.
+  const grid::Grid3D g = atmos_grid();
+  const int members = 2, stride = 4;
+  atmos::MultigridOptions opt;
+  opt.tol = 1e-6;
+
+  std::vector<atmos::Field3> rhs1, rhs2, phi;
+  for (int m = 0; m < members; ++m) {
+    rhs1.push_back(
+        random_rhs(g, static_cast<std::uint64_t>(m) + 10, 1.0 + m));
+    rhs2.push_back(
+        random_rhs(g, static_cast<std::uint64_t>(m) + 20, 0.5));
+    phi.emplace_back(g.nx, g.ny, g.nz, 0.0);
+  }
+  std::vector<atmos::SolveStats> ref_stats(members);
+  for (int m = 0; m < members; ++m) {
+    atmos::Multigrid mg(g, opt);
+    mg.solve(rhs1[m], phi[m]);
+    ref_stats[m] = mg.solve(rhs2[m], phi[m]);
+  }
+
+  std::vector<double> rhs1_soa = pack_soa(rhs1, stride);
+  std::vector<double> rhs2_soa = pack_soa(rhs2, stride);
+  std::vector<double> phi_soa(rhs1_soa.size(), 0.0);
+  std::vector<atmos::SolveStats> stats(members);
+  atmos::MultigridBatch mgb(g, members, stride, opt);
+  mgb.solve(rhs1_soa.data(), phi_soa.data(), stats.data());
+  mgb.solve(rhs2_soa.data(), phi_soa.data(), stats.data());
+
+  const std::size_t cells = g.cell_count();
+  for (int m = 0; m < members; ++m) {
+    EXPECT_EQ(stats[m].iterations, ref_stats[m].iterations);
+    for (std::size_t c = 0; c < cells; ++c)
+      ASSERT_EQ(phi_soa[c * stride + m], phi[m].data()[c]) << "member " << m;
+  }
+}
+
+TEST(MultigridBatch, RestrictProlongMatchScalar) {
+  const grid::Grid3D fine_g = atmos_grid();
+  const grid::Grid3D coarse_g(fine_g.nx / 2, fine_g.ny / 2, fine_g.nz / 2,
+                              2 * fine_g.dx, 2 * fine_g.dy, 2 * fine_g.dz);
+  const int members = 3, stride = 4;
+
+  std::vector<atmos::Field3> fine, coarse;
+  for (int m = 0; m < members; ++m) {
+    fine.push_back(random_rhs(fine_g, static_cast<std::uint64_t>(m) + 5, 2.0));
+    coarse.emplace_back(coarse_g.nx, coarse_g.ny, coarse_g.nz, 0.0);
+    atmos::mg_restrict(fine[m], coarse[m]);
+  }
+  std::vector<double> fine_soa = pack_soa(fine, stride);
+  std::vector<double> coarse_soa(coarse_g.cell_count() * stride, 1.0);
+  atmos::mg_restrict_batch(coarse_g, stride, fine_soa.data(),
+                           coarse_soa.data());
+  for (int m = 0; m < members; ++m)
+    for (std::size_t c = 0; c < coarse_g.cell_count(); ++c)
+      ASSERT_EQ(coarse_soa[c * stride + m], coarse[m].data()[c]);
+
+  // Prolongation with a freeze mask: frozen lanes keep their fine values.
+  std::vector<atmos::Field3> base;
+  for (int m = 0; m < members; ++m) {
+    base.push_back(random_rhs(fine_g, static_cast<std::uint64_t>(m) + 50, 1.0));
+    if (m != 1) atmos::mg_prolong_add(coarse[m], base[m]);
+  }
+  // Pack the pre-prolongation fields (same ids -> same values).
+  std::vector<atmos::Field3> packed;
+  for (int m = 0; m < members; ++m)
+    packed.push_back(random_rhs(fine_g, static_cast<std::uint64_t>(m) + 50,
+                                1.0));
+  std::vector<double> fine_out = pack_soa(packed, stride);
+  const double mask[4] = {1.0, 0.0, 1.0, 0.0};
+  atmos::mg_prolong_add_batch(fine_g, stride, coarse_soa.data(),
+                              fine_out.data(), mask);
+  for (int m = 0; m < members; ++m)
+    for (std::size_t c = 0; c < fine_g.cell_count(); ++c)
+      ASSERT_EQ(fine_out[c * stride + m], base[m].data()[c]) << "member " << m;
+}
+
+// --- batched coupled stepping vs per-member CoupledModel ---
+
+namespace {
+
+coupling::CoupledOptions coupled_options(bool two_way, bool use_rk2 = true) {
+  coupling::CoupledOptions copt;
+  copt.refine = 5;  // 40 x 40 fire mesh on the 8 x 8 atmos grid
+  copt.two_way = two_way;
+  copt.fire_opt.reinit_interval = 8;  // cover redistancing inside the window
+  copt.atmos_opt.use_rk2 = use_rk2;
+  return copt;
+}
+
+std::vector<std::unique_ptr<coupling::CoupledModel>> make_coupled_members(
+    const grid::Grid3D& ag, const atmos::AmbientProfile& amb,
+    const coupling::CoupledOptions& copt, int members, bool delayed_in_one) {
+  std::vector<std::unique_ptr<coupling::CoupledModel>> models;
+  const int fn = ag.nx * copt.refine;
+  for (int k = 0; k < members; ++k) {
+    auto m = std::make_unique<coupling::CoupledModel>(
+        ag, amb, fire::uniform_fuel(fn, fn, fire::kFuelShortGrass),
+        util::Array2D<double>(fn, fn, 0.0), copt);
+    std::vector<levelset::Ignition> shapes = {levelset::Ignition{
+        levelset::CircleIgnition{220.0 + 12.0 * k, 240.0, 30.0, 0.0}}};
+    if (delayed_in_one && k == 1)
+      shapes.push_back(levelset::Ignition{
+          levelset::CircleIgnition{130.0, 130.0, 25.0, 3.0}});
+    m->ignite(shapes);
+    models.push_back(std::move(m));
+  }
+  return models;
+}
+
+void expect_members_bitwise(
+    const std::vector<std::unique_ptr<coupling::CoupledModel>>& ref,
+    const std::vector<std::unique_ptr<coupling::CoupledModel>>& bat) {
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    const fire::FireState& fr = ref[k]->fire_model().state();
+    const fire::FireState& fb = bat[k]->fire_model().state();
+    ASSERT_EQ(fr.time, fb.time);
+    for (std::size_t c = 0; c < fr.psi.size(); ++c) {
+      ASSERT_EQ(fr.psi.data()[c], fb.psi.data()[c]) << "psi member " << k;
+      ASSERT_EQ(fr.tig.data()[c], fb.tig.data()[c]) << "tig member " << k;
+      ASSERT_EQ(ref[k]->fire_model().fuel_fraction().data()[c],
+                bat[k]->fire_model().fuel_fraction().data()[c]);
+    }
+    const atmos::AtmosState& ar = ref[k]->atmosphere().state();
+    const atmos::AtmosState& ab = bat[k]->atmosphere().state();
+    ASSERT_EQ(ref[k]->atmosphere().time(), bat[k]->atmosphere().time());
+    for (std::size_t c = 0; c < ar.u.size(); ++c)
+      ASSERT_EQ(ar.u.data()[c], ab.u.data()[c]) << "u member " << k;
+    for (std::size_t c = 0; c < ar.v.size(); ++c)
+      ASSERT_EQ(ar.v.data()[c], ab.v.data()[c]) << "v member " << k;
+    for (std::size_t c = 0; c < ar.w.size(); ++c)
+      ASSERT_EQ(ar.w.data()[c], ab.w.data()[c]) << "w member " << k;
+    for (std::size_t c = 0; c < ar.theta.size(); ++c)
+      ASSERT_EQ(ar.theta.data()[c], ab.theta.data()[c]) << "theta " << k;
+    for (std::size_t c = 0; c < ar.qv.size(); ++c)
+      ASSERT_EQ(ar.qv.data()[c], ab.qv.data()[c]) << "qv member " << k;
+    // The projection warm-start state round-trips too, so the paths stay
+    // interchangeable on subsequent steps.
+    const atmos::Field3& pr = ref[k]->atmosphere().projection_potential();
+    const atmos::Field3& pb = bat[k]->atmosphere().projection_potential();
+    for (std::size_t c = 0; c < pr.size(); ++c)
+      ASSERT_EQ(pr.data()[c], pb.data()[c]) << "phi member " << k;
+  }
+}
+
+}  // namespace
+
+TEST(CoupledBatch, BandZeroBitwiseTwoWayWithDelayedIgnition) {
+  const grid::Grid3D ag = atmos_grid();
+  atmos::AmbientProfile amb;
+  amb.wind_u = 3.0;
+  const coupling::CoupledOptions copt = coupled_options(/*two_way=*/true);
+  const int members = 5;  // not a SIMD multiple: stride pads to 8
+
+  auto ref = make_coupled_members(ag, amb, copt, members, true);
+  auto bat = make_coupled_members(ag, amb, copt, members, true);
+  ASSERT_TRUE(ref[1]->fire_model().has_pending_ignitions());
+
+  const double T = 10.0, dt = 0.5;
+  coupling::CoupledStepInfo info;
+  for (auto& m : ref)
+    while (m->time() < T - 1e-9) m->step(dt, info);
+
+  coupling::CoupledBatchOptions bopt;
+  bopt.coupled = copt;
+  bopt.batch.band_cells = 0;
+  coupling::CoupledEnsembleBatch batch(
+      ag, amb, fire::uniform_fuel(ag.nx * copt.refine, ag.ny * copt.refine,
+                                  fire::kFuelShortGrass),
+      util::Array2D<double>(ag.nx * copt.refine, ag.ny * copt.refine, 0.0),
+      members, bopt);
+  batch.load(bat);
+  batch.advance_to(T, dt);
+  batch.store(bat);
+
+  EXPECT_EQ(batch.time(), T);
+  expect_members_bitwise(ref, bat);
+  // The delayed shape came due at t = 3 on both paths.
+  EXPECT_FALSE(bat[1]->fire_model().has_pending_ignitions());
+  // And the fire actually forced the atmosphere (two-way heat release).
+  EXPECT_GT(batch.atmos_info(0).max_w, 0.0);
+}
+
+TEST(CoupledBatch, SingleMemberOneWayEulerBitwise) {
+  const grid::Grid3D ag = atmos_grid();
+  atmos::AmbientProfile amb;
+  amb.wind_u = 2.0;
+  amb.wind_v = 1.0;
+  const coupling::CoupledOptions copt =
+      coupled_options(/*two_way=*/false, /*use_rk2=*/false);
+
+  auto ref = make_coupled_members(ag, amb, copt, 1, false);
+  auto bat = make_coupled_members(ag, amb, copt, 1, false);
+
+  const double T = 6.0, dt = 0.5;
+  coupling::CoupledStepInfo info;
+  while (ref[0]->time() < T - 1e-9) ref[0]->step(dt, info);
+
+  coupling::CoupledBatchOptions bopt;
+  bopt.coupled = copt;
+  bopt.batch.band_cells = 0;
+  coupling::CoupledEnsembleBatch batch(
+      ag, amb, fire::uniform_fuel(ag.nx * copt.refine, ag.ny * copt.refine,
+                                  fire::kFuelShortGrass),
+      util::Array2D<double>(ag.nx * copt.refine, ag.ny * copt.refine, 0.0), 1,
+      bopt);
+  batch.load(bat);
+  batch.advance_to(T, dt);
+  batch.store(bat);
+
+  expect_members_bitwise(ref, bat);
+}
+
+TEST(CoupledBatch, NarrowBandTracksReferenceFront) {
+  // With the band on the coupled trajectories are no longer bitwise, but
+  // the burned sets must stay within a rounding sliver of each other.
+  const grid::Grid3D ag = atmos_grid();
+  atmos::AmbientProfile amb;
+  amb.wind_u = 3.0;
+  const coupling::CoupledOptions copt = coupled_options(/*two_way=*/true);
+  const int members = 3;
+
+  auto ref = make_coupled_members(ag, amb, copt, members, false);
+  auto bat = make_coupled_members(ag, amb, copt, members, false);
+
+  const double T = 10.0, dt = 0.5;
+  coupling::CoupledStepInfo info;
+  for (auto& m : ref)
+    while (m->time() < T - 1e-9) m->step(dt, info);
+
+  coupling::CoupledBatchOptions bopt;
+  bopt.coupled = copt;
+  bopt.batch.band_cells = 8;
+  coupling::CoupledEnsembleBatch batch(
+      ag, amb, fire::uniform_fuel(ag.nx * copt.refine, ag.ny * copt.refine,
+                                  fire::kFuelShortGrass),
+      util::Array2D<double>(ag.nx * copt.refine, ag.ny * copt.refine, 0.0),
+      members, bopt);
+  batch.load(bat);
+  batch.advance_to(T, dt);
+  batch.store(bat);
+
+  for (int k = 0; k < members; ++k) {
+    const auto& tr = ref[static_cast<std::size_t>(k)]->fire_model().state().tig;
+    const auto& tb = bat[static_cast<std::size_t>(k)]->fire_model().state().tig;
+    int disagree = 0;
+    for (std::size_t c = 0; c < tr.size(); ++c) {
+      const bool br = tr.data()[c] != fire::kNotIgnited;
+      const bool bb = tb.data()[c] != fire::kNotIgnited;
+      if (br != bb) ++disagree;
+    }
+    EXPECT_LE(disagree, 3) << "member " << k;
+  }
+}
