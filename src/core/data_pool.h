@@ -27,17 +27,41 @@ struct DataPoolOptions {
   double wind_v = 0.0;
 };
 
-class DataPool {
+// Where observations come from. The twin-experiment DataPool below is one
+// source; a live feed or a replayed archive is another. Producing the
+// observation is the *data acquisition* side of the paper's Fig. 2 — it is
+// never charged against the assimilation compute deadline (see
+// core/realtime), which is also why the driver talks to this interface
+// rather than to the truth model directly.
+class ObservationSource {
+ public:
+  virtual ~ObservationSource() = default;
+
+  // Produces the observation valid at `time` (advancing any internal truth
+  // or replay state as needed).
+  virtual ObservationImage observe_at(double time) = 0;
+
+  // Noise-free reference psi for skill scoring, when the source has one
+  // (twin experiments do; live data does not).
+  [[nodiscard]] virtual const util::Array2D<double>* truth_psi() const {
+    return nullptr;
+  }
+};
+
+class DataPool : public ObservationSource {
  public:
   // Takes ownership of the truth model (already ignited).
   DataPool(std::unique_ptr<fire::FireModel> truth, DataPoolOptions opt,
            util::Rng rng);
 
   // Advances the truth to `time` and returns the noisy observation image.
-  ObservationImage observe_at(double time);
+  ObservationImage observe_at(double time) override;
 
   // Noise-free truth access for skill scoring (never used by the filter).
   [[nodiscard]] const fire::FireModel& truth() const { return *truth_; }
+  [[nodiscard]] const util::Array2D<double>* truth_psi() const override {
+    return &truth_->state().psi;
+  }
 
  private:
   std::unique_ptr<fire::FireModel> truth_;

@@ -3,6 +3,12 @@
 // next observation time and assimilates; the driver records whether the
 // computation kept up with the (scaled) real-time clock — the operational
 // requirement the paper's project is building toward.
+//
+// Accounting contract: only the *assimilation computation* — advance_to plus
+// assimilate — is charged against the deadline. Generating the observation
+// (advancing the hidden truth, synthesizing noise, or in operation: waiting
+// on a data feed) is the data source's time; it is measured separately in
+// obs_seconds and never counts toward met_deadline or pacing.
 #pragma once
 
 #include <vector>
@@ -20,16 +26,20 @@ struct RealTimeOptions {
 
 struct CycleRecord {
   double sim_time = 0;        // time at the end of the cycle [s]
-  double wall_seconds = 0;    // compute time of the cycle
+  double wall_seconds = 0;    // compute time: advance_to + assimilate only
+  double obs_seconds = 0;     // data-source time (not charged to the deadline)
   double deadline_seconds = 0;// wall budget implied by the speedup
   bool met_deadline = false;
   AnalysisResult analysis;
-  double position_error = 0;  // vs truth after analysis [m]
+  double position_error = 0;  // vs truth after analysis [m]; 0 if no truth
 };
 
 class RealTimeDriver {
  public:
-  RealTimeDriver(AssimilationCycle& cycle, DataPool& pool,
+  // The driver consumes observations from any source; the twin-experiment
+  // DataPool is the usual one. position_error stays 0 when the source has
+  // no noise-free truth to score against.
+  RealTimeDriver(AssimilationCycle& cycle, ObservationSource& source,
                  RealTimeOptions opt);
 
   // Runs the configured number of cycles and returns one record per cycle.
@@ -37,7 +47,7 @@ class RealTimeDriver {
 
  private:
   AssimilationCycle& cycle_;
-  DataPool& pool_;
+  ObservationSource& source_;
   RealTimeOptions opt_;
 };
 

@@ -102,7 +102,7 @@ void FireModel::step_into(double dt, const util::Array2D<double>& wind_u,
   in.dzdx = &dzdx_;
   in.dzdy = &dzdy_;
   spread_field(grid_, state_.psi, fuel_, in, fuel_frac_, opt_.min_fuel_frac,
-               speed_);
+               speed_, spread_scratch_);
 
   if (!psi_before_.same_shape(state_.psi))
     psi_before_ = util::Array2D<double>(grid_.nx, grid_.ny);
@@ -110,15 +110,15 @@ void FireModel::step_into(double dt, const util::Array2D<double>& wind_u,
   const double t_before = state_.time;
   out.step = opt_.use_heun
                  ? levelset::step_heun(grid_, speed_, dt, opt_.scheme,
-                                       state_.psi)
+                                       state_.psi, step_scratch_)
                  : levelset::step_euler(grid_, speed_, dt, opt_.scheme,
-                                        state_.psi);
+                                        state_.psi, step_scratch_);
   state_.time += dt;
   update_ignition_times(psi_before_, t_before, dt);
 
   if (opt_.reinit_interval > 0 &&
       ++steps_since_reinit_ >= opt_.reinit_interval) {
-    levelset::reinitialize(grid_, state_.psi);
+    levelset::reinitialize(grid_, state_.psi, 2, reinit_scratch_);
     steps_since_reinit_ = 0;
   }
 

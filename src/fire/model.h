@@ -120,8 +120,14 @@ class FireModel {
   util::Array2D<double> fuel_frac_;  // remaining fuel mass fraction in [0,1]
   std::vector<levelset::Ignition> pending_;  // delayed ignitions
   int steps_since_reinit_ = 0;
-  // Scratch buffers reused across steps.
+  // Scratch buffers reused across steps: the whole steady-state stepping
+  // path (spread field, RK2 stage arrays, periodic redistancing, fluxes via
+  // step_into) allocates nothing, which is what lets a serving process step
+  // many long-lived scenarios without touching the heap.
   util::Array2D<double> speed_, uniform_u_, uniform_v_, psi_before_;
+  SpreadScratch spread_scratch_;
+  levelset::StepScratch step_scratch_;
+  util::Array2D<double> reinit_scratch_;
 };
 
 }  // namespace wfire::fire

@@ -18,6 +18,15 @@ void spread_field(const grid::Grid2D& g, const util::Array2D<double>& psi,
                   const FuelMap& fuel, const SpreadInputs& in,
                   const util::Array2D<double>& fuel_frac,
                   double min_fuel_frac, util::Array2D<double>& speed) {
+  SpreadScratch scratch;
+  spread_field(g, psi, fuel, in, fuel_frac, min_fuel_frac, speed, scratch);
+}
+
+void spread_field(const grid::Grid2D& g, const util::Array2D<double>& psi,
+                  const FuelMap& fuel, const SpreadInputs& in,
+                  const util::Array2D<double>& fuel_frac,
+                  double min_fuel_frac, util::Array2D<double>& speed,
+                  SpreadScratch& scratch) {
   if (!in.wind_u || !in.wind_v)
     throw std::invalid_argument("spread_field: wind fields required");
   if (!in.wind_u->same_shape(psi) || !in.wind_v->same_shape(psi))
@@ -25,7 +34,8 @@ void spread_field(const grid::Grid2D& g, const util::Array2D<double>& psi,
   if (!speed.same_shape(psi))
     speed = util::Array2D<double>(psi.nx(), psi.ny());
 
-  util::Array2D<double> nx_f, ny_f;
+  util::Array2D<double>& nx_f = scratch.nx_f;
+  util::Array2D<double>& ny_f = scratch.ny_f;
   levelset::normals(g, psi, nx_f, ny_f);
 
 WFIRE_PRAGMA_OMP(omp parallel for schedule(static))

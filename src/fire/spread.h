@@ -22,6 +22,12 @@ struct SpreadInputs {
   const util::Array2D<double>* dzdy = nullptr;
 };
 
+// Normal-field buffers reused across spread_field calls; shaped on first
+// use. Callers on an allocation-free stepping path hold one per model.
+struct SpreadScratch {
+  util::Array2D<double> nx_f, ny_f;
+};
+
 // Evaluates S at every node from psi-derived normals. Nodes with no fuel
 // (index < 0) or exhausted fuel (fuel_frac <= min_fuel_frac) get S = 0,
 // so firebreaks and burned-out regions stop the front.
@@ -29,5 +35,13 @@ void spread_field(const grid::Grid2D& g, const util::Array2D<double>& psi,
                   const FuelMap& fuel, const SpreadInputs& in,
                   const util::Array2D<double>& fuel_frac,
                   double min_fuel_frac, util::Array2D<double>& speed);
+
+// Same evaluation with caller-held normal buffers: allocation-free once the
+// scratch is shaped.
+void spread_field(const grid::Grid2D& g, const util::Array2D<double>& psi,
+                  const FuelMap& fuel, const SpreadInputs& in,
+                  const util::Array2D<double>& fuel_frac,
+                  double min_fuel_frac, util::Array2D<double>& speed,
+                  SpreadScratch& scratch);
 
 }  // namespace wfire::fire

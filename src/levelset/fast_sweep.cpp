@@ -33,9 +33,18 @@ double eikonal_update(double a, double b, double hx, double hy) {
 
 void reinitialize(const grid::Grid2D& g, util::Array2D<double>& psi,
                   int sweeps) {
+  util::Array2D<double> dist;
+  reinitialize(g, psi, sweeps, dist);
+}
+
+void reinitialize(const grid::Grid2D& g, util::Array2D<double>& psi,
+                  int sweeps, util::Array2D<double>& dist_scratch) {
   const int nx = g.nx, ny = g.ny;
   const double inf = std::numeric_limits<double>::infinity();
-  util::Array2D<double> dist(nx, ny, inf);
+  if (!dist_scratch.same_shape(psi))
+    dist_scratch = util::Array2D<double>(nx, ny);
+  util::Array2D<double>& dist = dist_scratch;
+  dist.fill(inf);
 
   // Freeze first-order-accurate distances on nodes adjacent to the front:
   // for each sign-changing edge, the distance to the crossing point.

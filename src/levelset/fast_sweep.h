@@ -15,6 +15,11 @@ namespace wfire::levelset {
 void reinitialize(const grid::Grid2D& g, util::Array2D<double>& psi,
                   int sweeps = 2);
 
+// Same, drawing the distance work array from caller-held scratch so periodic
+// redistancing inside a stepping loop stays allocation-free.
+void reinitialize(const grid::Grid2D& g, util::Array2D<double>& psi,
+                  int sweeps, util::Array2D<double>& dist_scratch);
+
 // Measures the deviation of |grad psi| from 1 in a band around the front
 // (|psi| < band). Diagnostic used by tests and the reinit policy.
 [[nodiscard]] double eikonal_residual(const grid::Grid2D& g,

@@ -20,30 +20,46 @@ StepStats stats_for(const grid::Grid2D& g, const util::Array2D<double>& speed,
 StepStats step_euler(const grid::Grid2D& g, const util::Array2D<double>& speed,
                      double dt, UpwindScheme scheme,
                      util::Array2D<double>& psi) {
+  StepScratch scratch;
+  return step_euler(g, speed, dt, scheme, psi, scratch);
+}
+
+StepStats step_euler(const grid::Grid2D& g, const util::Array2D<double>& speed,
+                     double dt, UpwindScheme scheme, util::Array2D<double>& psi,
+                     StepScratch& scratch) {
   if (!speed.same_shape(psi))
     throw std::invalid_argument("step_euler: speed/psi shape mismatch");
-  util::Array2D<double> grad;
-  gradient_magnitude(g, psi, scheme, grad);
+  gradient_magnitude(g, psi, scheme, scratch.k1);
 WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < g.ny; ++j)
     for (int i = 0; i < g.nx; ++i)
-      psi(i, j) -= dt * speed(i, j) * grad(i, j);
+      psi(i, j) -= dt * speed(i, j) * scratch.k1(i, j);
   return stats_for(g, speed, dt);
 }
 
 StepStats step_heun(const grid::Grid2D& g, const util::Array2D<double>& speed,
                     double dt, UpwindScheme scheme,
                     util::Array2D<double>& psi) {
+  StepScratch scratch;
+  return step_heun(g, speed, dt, scheme, psi, scratch);
+}
+
+StepStats step_heun(const grid::Grid2D& g, const util::Array2D<double>& speed,
+                    double dt, UpwindScheme scheme, util::Array2D<double>& psi,
+                    StepScratch& scratch) {
   if (!speed.same_shape(psi))
     throw std::invalid_argument("step_heun: speed/psi shape mismatch");
-  util::Array2D<double> k1, k2;
+  util::Array2D<double>& k1 = scratch.k1;
+  util::Array2D<double>& k2 = scratch.k2;
+  util::Array2D<double>& predictor = scratch.predictor;
   gradient_magnitude(g, psi, scheme, k1);
 
-  util::Array2D<double> predictor = psi;
+  if (!predictor.same_shape(psi))
+    predictor = util::Array2D<double>(g.nx, g.ny);
 WFIRE_PRAGMA_OMP(omp parallel for schedule(static))
   for (int j = 0; j < g.ny; ++j)
     for (int i = 0; i < g.nx; ++i)
-      predictor(i, j) -= dt * speed(i, j) * k1(i, j);
+      predictor(i, j) = psi(i, j) - dt * speed(i, j) * k1(i, j);
 
   gradient_magnitude(g, predictor, scheme, k2);
 WFIRE_PRAGMA_OMP(omp parallel for schedule(static))

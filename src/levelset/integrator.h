@@ -15,10 +15,21 @@ struct StepStats {
   double cfl = 0;        // max S * dt / min(dx, dy)
 };
 
+// Reusable per-step work arrays. Callers that step in a loop (every fire
+// model instance, every serving scenario) hold one of these so steady-state
+// stepping performs no heap allocation; the scratch-free overloads below
+// construct a transient one per call.
+struct StepScratch {
+  util::Array2D<double> k1, k2, predictor;
+};
+
 // One explicit Euler step: psi -= dt * S .* |grad psi|.
 StepStats step_euler(const grid::Grid2D& g, const util::Array2D<double>& speed,
                      double dt, UpwindScheme scheme,
                      util::Array2D<double>& psi);
+StepStats step_euler(const grid::Grid2D& g, const util::Array2D<double>& speed,
+                     double dt, UpwindScheme scheme, util::Array2D<double>& psi,
+                     StepScratch& scratch);
 
 // One Heun (RK2 / trapezoidal predictor-corrector) step:
 //   k1 = S|grad psi|, psi* = psi - dt k1,
@@ -26,6 +37,9 @@ StepStats step_euler(const grid::Grid2D& g, const util::Array2D<double>& speed,
 StepStats step_heun(const grid::Grid2D& g, const util::Array2D<double>& speed,
                     double dt, UpwindScheme scheme,
                     util::Array2D<double>& psi);
+StepStats step_heun(const grid::Grid2D& g, const util::Array2D<double>& speed,
+                    double dt, UpwindScheme scheme, util::Array2D<double>& psi,
+                    StepScratch& scratch);
 
 // Largest stable time step for a speed field at the given CFL number.
 [[nodiscard]] double stable_dt(const grid::Grid2D& g,

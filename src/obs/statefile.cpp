@@ -1,9 +1,15 @@
 #include "obs/statefile.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace wfire::obs {
 
@@ -11,6 +17,37 @@ namespace {
 
 constexpr char kMagic[4] = {'W', 'F', 'S', 'T'};
 constexpr std::uint32_t kVersion = 1;
+constexpr char kTempSuffix[] = ".tmp";
+
+// Flushes a just-written file (and, for the rename to be durable, its
+// directory) to stable storage. Best effort: fsync failures surface as a
+// throw from the caller only when the data write itself failed.
+void sync_path(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+void sync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
 
 void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -44,19 +81,41 @@ void check_header(std::istream& in, const std::string& path) {
 }  // namespace
 
 void StateFile::write(const std::string& path, const Sections& sections) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("StateFile: cannot open " + path);
-  out.write(kMagic, 4);
-  write_u32(out, kVersion);
-  write_u32(out, static_cast<std::uint32_t>(sections.size()));
-  for (const auto& [name, values] : sections) {
-    write_u32(out, static_cast<std::uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_u64(out, values.size());
-    out.write(reinterpret_cast<const char*>(values.data()),
-              static_cast<std::streamsize>(values.size() * sizeof(double)));
+  // Crash safety: build the file next to its destination, sync it, then
+  // atomically rename over the target. Readers only ever see either the old
+  // complete file or the new complete file; a kill mid-write leaves only a
+  // *.tmp that discovery skips.
+  const std::string tmp = path + kTempSuffix;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("StateFile: cannot open " + tmp);
+    out.write(kMagic, 4);
+    write_u32(out, kVersion);
+    write_u32(out, static_cast<std::uint32_t>(sections.size()));
+    for (const auto& [name, values] : sections) {
+      write_u32(out, static_cast<std::uint32_t>(name.size()));
+      out.write(name.data(), static_cast<std::streamsize>(name.size()));
+      write_u64(out, values.size());
+      out.write(reinterpret_cast<const char*>(values.data()),
+                static_cast<std::streamsize>(values.size() * sizeof(double)));
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("StateFile: write failed for " + tmp);
+    }
   }
-  if (!out) throw std::runtime_error("StateFile: write failed for " + path);
+  sync_path(tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("StateFile: cannot publish " + path);
+  }
+  sync_parent_dir(path);
+}
+
+bool StateFile::is_temp_path(const std::string& path) {
+  const std::size_t n = sizeof(kTempSuffix) - 1;
+  return path.size() >= n && path.compare(path.size() - n, n, kTempSuffix) == 0;
 }
 
 Sections StateFile::read(const std::string& path) {

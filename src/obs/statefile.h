@@ -23,8 +23,16 @@ using Sections = std::map<std::string, std::vector<double>>;
 
 class StateFile {
  public:
-  // Writes (truncates) the whole file.
+  // Writes the whole file, crash-safely: the bytes go to a temp file in the
+  // target directory (path + ".tmp"), are fsync'ed, and the temp is renamed
+  // over `path` — a process killed mid-checkpoint can leave a stale temp but
+  // never a truncated statefile. The previous file (if any) stays intact
+  // until the rename commits.
   static void write(const std::string& path, const Sections& sections);
+
+  // Whether `path` is an in-flight temp from write(); checkpoint discovery
+  // must skip (and may reap) such leftovers.
+  [[nodiscard]] static bool is_temp_path(const std::string& path);
 
   // Reads the whole file.
   [[nodiscard]] static Sections read(const std::string& path);

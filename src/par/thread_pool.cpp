@@ -10,13 +10,42 @@ ThreadPool::ThreadPool(int n) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(/*drain=*/true); }
+
+void ThreadPool::shutdown(bool drain) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+    if (!drain) discard_queues_locked();
+    if (joined_) return;
+    joined_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::discard_queues_locked() {
+  std::size_t discarded = 0;
+  for (auto& q : queues_) {
+    discarded += q.size();
+    // Destroying the type-erased closures destroys their packaged_tasks;
+    // outstanding futures observe broken_promise, a clean cancellation
+    // signal that cannot be confused with a task-thrown exception.
+    q.clear();
+  }
+  return discarded;
+}
+
+std::size_t ThreadPool::cancel_pending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return discard_queues_locked();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
 }
 
 void ThreadPool::worker_loop() {
@@ -24,10 +53,23 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] {
+        if (stopping_) return true;
+        for (const auto& q : queues_)
+          if (!q.empty()) return true;
+        return false;
+      });
+      auto next = [this]() -> std::deque<std::function<void()>>* {
+        for (auto& q : queues_)
+          if (!q.empty()) return &q;
+        return nullptr;
+      }();
+      if (next == nullptr) {
+        if (stopping_) return;
+        continue;  // spurious wakeup with empty queues
+      }
+      task = std::move(next->front());
+      next->pop_front();
     }
     task();
   }
@@ -38,7 +80,20 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   futures.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i)
     futures.push_back(submit([&fn, i] { fn(i); }));
-  for (auto& f : futures) f.get();
+  // Every future is drained before the first exception propagates: the tasks
+  // capture fn (and whatever the caller's lambda references) by reference,
+  // so returning while siblings are still queued or running would leave them
+  // with dangling references — the shutdown/exception-hygiene bug class this
+  // loop exists to prevent.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace wfire::par

@@ -2,8 +2,10 @@
 // experiment data pool, and the real-time driver bookkeeping.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <thread>
 
 #include "core/cycle.h"
 #include "core/data_pool.h"
@@ -242,6 +244,69 @@ TEST(RealTime, DriverRecordsCyclesAndDeadlines) {
   for (const auto& r : records) {
     EXPECT_GT(r.wall_seconds, 0.0);
     EXPECT_FALSE(r.met_deadline);  // 10 us budget is not attainable
+    EXPECT_TRUE(std::isfinite(r.position_error));
+  }
+}
+
+namespace {
+
+// A deliberately slow data source: observation production that must never be
+// charged against the assimilation deadline. Delegates to a DataPool so the
+// driver still gets real images and a truth to score against.
+class SlowSource : public ObservationSource {
+ public:
+  SlowSource(DataPool& inner, double delay_s)
+      : inner_(inner), delay_s_(delay_s) {}
+  ObservationImage observe_at(double time) override {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_s_));
+    return inner_.observe_at(time);
+  }
+  [[nodiscard]] const util::Array2D<double>* truth_psi() const override {
+    return inner_.truth_psi();
+  }
+
+ private:
+  DataPool& inner_;
+  double delay_s_;
+};
+
+}  // namespace
+
+// Pins the accounting contract: only advance_to + assimilate count toward
+// wall_seconds/met_deadline; the data source's time lands in obs_seconds.
+// Before the fix, the stopwatch started ahead of observe_at, so a slow feed
+// (here: 0.4 s of synthetic delay per cycle) blew every deadline even when
+// the computation itself was far faster than real time.
+TEST(RealTime, ObservationGenerationNotChargedToDeadline) {
+  const grid::Grid2D g = small_grid();
+  DataPool pool(ignited_model(120.0, 120.0), {}, util::Rng(7));
+  SlowSource slow(pool, 0.4);
+  CycleOptions opt;
+  opt.members = 2;
+  opt.threads = 1;
+  opt.ignition_jitter = 20.0;
+  // The cheap pixelwise filter: the cycle must finish far inside 0.4 s so
+  // the wall/obs comparison below is unambiguous.
+  opt.filter = FilterKind::kStandardEnKF;
+  AssimilationCycle cycle(g, fire::uniform_fuel(g.nx, g.ny, 0),
+                          fire::terrain_flat(g), {}, opt, 16);
+  cycle.initialize({levelset::Ignition{
+      levelset::CircleIgnition{110.0, 120.0, 20.0, 0.0}}});
+
+  RealTimeOptions ropt;
+  ropt.cycle_interval = 5.0;
+  ropt.cycles = 2;
+  ropt.speedup = 1.0;  // 5 s budget per cycle: generous for this config...
+  ropt.pace = false;
+  RealTimeDriver driver(cycle, slow, ropt);
+  const std::vector<CycleRecord> records = driver.run();
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& r : records) {
+    // ...so the deadline only holds if the 0.4 s source delay stayed off the
+    // measured path.
+    EXPECT_GE(r.obs_seconds, 0.4);
+    EXPECT_LT(r.wall_seconds, r.obs_seconds);
+    EXPECT_TRUE(r.met_deadline);
     EXPECT_TRUE(std::isfinite(r.position_error));
   }
 }

@@ -85,6 +85,55 @@ TEST(StateFile, ErrorsAreDiagnosed) {
   EXPECT_THROW(StateFile::read(bad), std::runtime_error);
 }
 
+TEST(StateFile, WriteLeavesNoTempFile) {
+  TmpDir tmp;
+  const std::string path = std::string(kTmp) + "/atomic.wfst";
+  StateFile::write(path, {{"psi", {1, 2, 3}}});
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(StateFile, WriteReplacesStaleTempFromCrashedWriter) {
+  // A process killed between opening the temp and the rename leaves
+  // path+".tmp" behind; the next successful write must simply overwrite it
+  // and still publish atomically.
+  TmpDir tmp;
+  const std::string path = std::string(kTmp) + "/stale.wfst";
+  {
+    std::ofstream garbage(path + ".tmp", std::ios::binary);
+    garbage << "half a checkpoint";
+  }
+  StateFile::write(path, {{"tig", {4, 5}}});
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(StateFile::extract(path, "tig"), (std::vector<double>{4, 5}));
+}
+
+TEST(StateFile, TruncatedFileFailsCleanly) {
+  // Simulated torn write at several offsets: the reader must throw a clean
+  // runtime_error at every cut, never return short data or crash.
+  TmpDir tmp;
+  const std::string path = std::string(kTmp) + "/torn.wfst";
+  StateFile::write(path, {{"psi", {1, 2, 3, 4}}, {"tig", {5, 6}}});
+  const auto full = std::filesystem::file_size(path);
+  for (const double frac : {0.1, 0.4, 0.7, 0.95}) {
+    const auto cut = static_cast<std::uintmax_t>(frac * full);
+    const std::string torn = std::string(kTmp) + "/cut.wfst";
+    std::filesystem::copy_file(path, torn,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(torn, cut);
+    EXPECT_THROW(StateFile::read(torn), std::runtime_error)
+        << "truncated at " << cut << " of " << full << " bytes";
+  }
+  // The untouched original still reads.
+  EXPECT_EQ(StateFile::read(path).size(), 2u);
+}
+
+TEST(StateFile, TempPathPredicate) {
+  EXPECT_TRUE(StateFile::is_temp_path("/a/b/state.wfst.tmp"));
+  EXPECT_FALSE(StateFile::is_temp_path("/a/b/state.wfst"));
+  EXPECT_FALSE(StateFile::is_temp_path("tmp"));
+}
+
 TEST(StateFile, FireStateRoundTrip) {
   TmpDir tmp;
   const std::string path = std::string(kTmp) + "/fire.wfst";

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
+#include <thread>
 
 #include "par/ensemble_runner.h"
 #include "par/thread_pool.h"
@@ -46,6 +49,147 @@ TEST(ThreadPool, SubmitFutureCarriesException) {
   ThreadPool pool(1);
   auto f = pool.submit([]() -> int { throw std::logic_error("bad"); });
   EXPECT_THROW(f.get(), std::logic_error);
+}
+
+// The exception contract that makes parallel_for safe to call with a lambda
+// on the caller's stack: every task — started or still queued — runs (or is
+// executed to completion) before the first exception is rethrown. An early
+// exit here is a use-after-free: queued tasks hold references into the
+// caller's frame.
+TEST(ThreadPool, ParallelForWaitsForAllTasksOnException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](int i) {
+                          if (i == 0) throw std::runtime_error("first");
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(20));
+                          completed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  // When parallel_for returns, every non-throwing task has finished.
+  EXPECT_EQ(completed.load(), 7);
+}
+
+namespace {
+
+// Occupies a pool worker until `gate` opens, and lets the test wait until
+// the task has actually been dequeued (so later submissions really queue).
+struct Blocker {
+  std::promise<void> gate;
+  std::atomic<bool> started{false};
+  std::future<void> fut;
+
+  explicit Blocker(ThreadPool& pool) {
+    std::shared_future<void> opened = gate.get_future().share();
+    fut = pool.submit([this, opened] {
+      started.store(true);
+      opened.wait();
+    });
+    while (!started.load()) std::this_thread::yield();
+  }
+  void release() {
+    gate.set_value();
+    fut.get();
+  }
+};
+
+}  // namespace
+
+TEST(ThreadPool, CancelPendingFailsFuturesCleanly) {
+  ThreadPool pool(1);
+  Blocker blocker(pool);
+  // With the lone worker blocked, these stay queued.
+  auto f1 = pool.submit([] { return 1; });
+  auto f2 = pool.submit([] { return 2; });
+  EXPECT_EQ(pool.cancel_pending(), 2u);
+  blocker.release();
+  EXPECT_THROW(f1.get(), std::future_error);
+  EXPECT_THROW(f2.get(), std::future_error);
+  // The pool stays usable after a cancellation.
+  EXPECT_EQ(pool.submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPool, HigherPriorityOvertakesQueuedWork) {
+  ThreadPool pool(1);
+  Blocker blocker(pool);
+  std::vector<int> order;
+  std::mutex mu;
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(tag);
+  };
+  auto lo = pool.submit(Priority::kLow, [&] { record(2); });
+  auto mid = pool.submit(Priority::kNormal, [&] { record(1); });
+  auto hi = pool.submit(Priority::kHigh, [&] { record(0); });
+  blocker.release();
+  hi.get();
+  mid.get();
+  lo.get();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ThreadPool, ShutdownDrainRunsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    Blocker blocker(pool);
+    for (int i = 0; i < 4; ++i) pool.submit([&] { ran.fetch_add(1); });
+    blocker.gate.set_value();
+    pool.shutdown(/*drain=*/true);
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  }
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, ShutdownDiscardDropsQueuedTasks) {
+  std::atomic<int> ran{0};
+  ThreadPool pool(1);
+  Blocker blocker(pool);
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 4; ++i)
+    queued.push_back(pool.submit([&] { ran.fetch_add(1); }));
+  // shutdown(discard) empties the queue before joining; only release the
+  // blocked worker once the discard is visible, so nothing queued can slip
+  // through in the gap.
+  std::thread closer([&] { pool.shutdown(/*drain=*/false); });
+  while (pool.pending() != 0) std::this_thread::yield();
+  blocker.gate.set_value();
+  closer.join();
+  EXPECT_EQ(ran.load(), 0);
+  for (auto& f : queued) EXPECT_THROW(f.get(), std::future_error);
+  blocker.fut.get();  // the running task was never abandoned
+}
+
+// Stress for the TSan job: concurrent submitters racing a throwing
+// parallel_for and a cancel — the shutdown/exception paths the serial tests
+// above exercise one at a time.
+TEST(ThreadPool, ConcurrentSubmitAndThrowingParallelForStress) {
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(4);
+    std::atomic<long> sum{0};
+    std::thread submitter([&] {
+      for (int i = 0; i < 50; ++i) {
+        try {
+          pool.submit(i % 2 ? Priority::kHigh : Priority::kLow,
+                      [&sum, i] { sum.fetch_add(i); });
+        } catch (const std::runtime_error&) {
+          break;  // pool already stopping
+        }
+      }
+    });
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](int i) {
+                                     if (i % 17 == 3)
+                                       throw std::runtime_error("boom");
+                                     sum.fetch_add(1);
+                                   }),
+                 std::runtime_error);
+    pool.cancel_pending();
+    submitter.join();
+    pool.shutdown(/*drain=*/true);
+  }
 }
 
 TEST(EnsembleRunner, RecordsPhaseTimings) {

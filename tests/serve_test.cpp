@@ -1,0 +1,385 @@
+// Scenario-server tests: admission control, concurrent-vs-solo bitwise
+// reproducibility, crash-safe checkpoint kill/restore round trips, the
+// zero-allocation steady-state serving path, and graceful shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <new>
+
+#include "serve/scenario_server.h"
+
+using namespace wfire;
+using namespace wfire::serve;
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the zero-steady-state-allocation pin. The
+// thread_local flag scopes counting to the test thread (the inline serving
+// path runs on it), so idle pool workers and the OpenMP runtime don't show
+// up as noise. Disabled under sanitizers, which own the allocator.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define WFIRE_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define WFIRE_ALLOC_COUNTING 0
+#else
+#define WFIRE_ALLOC_COUNTING 1
+#endif
+#else
+#define WFIRE_ALLOC_COUNTING 1
+#endif
+
+#if WFIRE_ALLOC_COUNTING
+namespace {
+thread_local bool t_count_allocs = false;
+thread_local long t_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  if (t_count_allocs) ++t_alloc_count;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
+
+namespace {
+
+const char* kTmp = "/tmp/wfire_serve_test";
+
+struct TmpDir {
+  TmpDir() {
+    std::filesystem::remove_all(kTmp);
+    std::filesystem::create_directories(kTmp);
+  }
+  ~TmpDir() { std::filesystem::remove_all(kTmp); }
+};
+
+ScenarioSpec small_spec(std::uint64_t seed, double cx = 60.0,
+                        double cy = 60.0) {
+  ScenarioSpec spec;
+  spec.nx = 21;
+  spec.ny = 21;
+  spec.dx = 6.0;
+  spec.dy = 6.0;
+  spec.dt = 0.5;
+  spec.wind_u = 2.0;
+  spec.wind_v = 0.5;
+  spec.wind_jitter = 0.8;
+  spec.seed = seed;
+  spec.fire.reinit_interval = 8;  // several redistancing phases per test
+  spec.ignitions = {
+      levelset::Ignition{levelset::CircleIgnition{cx, cy, 15.0, 0.0}}};
+  return spec;
+}
+
+// Reference trajectory: the same spec served alone, inline, on a one-thread
+// server. The reproducibility contract says everything else must match this
+// bitwise.
+fire::FireState solo_state(const ScenarioSpec& spec, double until) {
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.inline_cell_steps = 1L << 40;  // everything inline
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(spec);
+  EXPECT_TRUE(server.request_advance(id, until));
+  server.wait(id);
+  return server.state(id);
+}
+
+}  // namespace
+
+TEST(ScenarioServer, AdmissionRoutesSmallJobsInlineAndBigToPool) {
+  ServerOptions opt;
+  opt.threads = 2;
+  // 21x21 nodes -> 441 cell-steps per step: 10 steps fit, 11 don't.
+  opt.inline_cell_steps = 441 * 10;
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(small_spec(1));
+
+  EXPECT_TRUE(server.request_advance(id, 5.0));  // 10 steps: inline
+  server.wait(id);
+  EXPECT_FALSE(server.request_advance(id, 30.0));  // 50 more steps: pooled
+  server.wait(id);
+
+  const ScenarioStatus st = server.status(id);
+  EXPECT_EQ(st.inline_served, 1);
+  EXPECT_EQ(st.pooled_served, 1);
+  EXPECT_NEAR(st.sim_time, 30.0, 1e-9);
+  EXPECT_EQ(st.steps, 60);
+  EXPECT_FALSE(st.failed);
+}
+
+TEST(ScenarioServer, InlineThresholdEnvOverride) {
+  ASSERT_EQ(setenv("WFIRE_SERVE_INLINE", "777", 1), 0);
+  ScenarioServer server{ServerOptions{}};
+  unsetenv("WFIRE_SERVE_INLINE");
+  EXPECT_EQ(server.options().inline_cell_steps, 777);
+}
+
+TEST(ScenarioServer, ConcurrentScenariosBitwiseMatchSoloRuns) {
+  constexpr int kScenarios = 6;
+  ServerOptions opt;
+  opt.threads = 4;
+  opt.inline_cell_steps = 0;  // force every advance through the pool
+  ScenarioServer server(opt);
+
+  std::vector<ScenarioSpec> specs;
+  std::vector<ScenarioId> ids;
+  for (int k = 0; k < kScenarios; ++k) {
+    specs.push_back(small_spec(100 + static_cast<std::uint64_t>(k),
+                               45.0 + 6.0 * k, 60.0));
+    ids.push_back(server.admit(specs.back()));
+  }
+  // Two advance chunks per scenario, queued while others run.
+  for (const ScenarioId id : ids) server.request_advance(id, 8.0);
+  for (const ScenarioId id : ids) server.request_advance(id, 16.0);
+  server.wait_all();
+  // Counters tally dispatched jobs, not requests: a follow-up request that
+  // lands while its scenario is running drains into the in-flight job. With
+  // the threshold at zero, every dispatch went through the pool.
+  EXPECT_GE(server.total_pooled(), kScenarios);
+  EXPECT_EQ(server.total_inline(), 0);
+
+  for (int k = 0; k < kScenarios; ++k) {
+    SCOPED_TRACE("scenario " + std::to_string(k));
+    const fire::FireState solo = solo_state(specs[static_cast<size_t>(k)], 16.0);
+    const fire::FireState& got = server.state(ids[static_cast<size_t>(k)]);
+    EXPECT_TRUE(got.psi == solo.psi);   // bitwise
+    EXPECT_TRUE(got.tig == solo.tig);   // bitwise
+    EXPECT_DOUBLE_EQ(got.time, solo.time);
+    EXPECT_FALSE(server.status(ids[static_cast<size_t>(k)]).failed);
+  }
+}
+
+TEST(ScenarioServer, GustStreamsDecorrelatedButReproducible) {
+  ServerOptions opt;
+  opt.threads = 2;
+  ScenarioServer server(opt);
+  const ScenarioId a = server.admit(small_spec(11));
+  const ScenarioId b = server.admit(small_spec(22));  // different seed
+  const ScenarioId c = server.admit(small_spec(11));  // same seed as a
+  for (const ScenarioId id : {a, b, c}) server.request_advance(id, 12.0);
+  server.wait_all();
+  EXPECT_FALSE(server.state(a).psi == server.state(b).psi);  // decorrelated
+  EXPECT_TRUE(server.state(a).psi == server.state(c).psi);   // reproducible
+  EXPECT_TRUE(server.state(a).tig == server.state(c).tig);
+}
+
+TEST(ScenarioServer, CheckpointKillRestoreRoundTripIsBitwise) {
+  TmpDir tmp;
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.inline_cell_steps = 1L << 40;
+  opt.checkpoint_dir = kTmp;
+  ScenarioSpec spec = small_spec(42);
+  // A delayed ignition still pending at checkpoint time: the queue must
+  // survive the round trip and light at the same sim time.
+  spec.ignitions.push_back(
+      levelset::Ignition{levelset::CircleIgnition{90.0, 90.0, 10.0, 20.0}});
+
+  const std::string frozen = std::string(kTmp) + "/frozen.wfst";
+  fire::FireState at_kill;
+  {
+    ScenarioServer server(opt);
+    const ScenarioId id = server.admit(spec);
+    server.request_advance(id, 15.0);
+    server.wait(id);
+    server.checkpoint_now(id);
+    // "Kill": freeze a copy of the checkpoint, then let this server die.
+    std::filesystem::copy_file(server.checkpoint_path(id), frozen);
+    server.request_advance(id, 30.0);  // uninterrupted reference continues
+    server.wait(id);
+    at_kill = server.state(id);
+  }
+
+  ScenarioServer server(opt);
+  const ScenarioId rid = server.restore(frozen);
+  ScenarioStatus st = server.status(rid);
+  EXPECT_NEAR(st.sim_time, 15.0, 1e-12);
+  EXPECT_EQ(st.steps, 30);
+  server.request_advance(rid, 30.0);  // crosses the pending ignition at t=20
+  server.wait(rid);
+  const fire::FireState& resumed = server.state(rid);
+  EXPECT_TRUE(resumed.psi == at_kill.psi);  // bitwise
+  EXPECT_TRUE(resumed.tig == at_kill.tig);  // bitwise
+  EXPECT_DOUBLE_EQ(resumed.time, at_kill.time);
+  // The delayed ignition did light after the restore.
+  EXPECT_GT(server.status(rid).burned_area, 0.0);
+}
+
+TEST(ScenarioServer, PeriodicCheckpointsFollowTheCadence) {
+  TmpDir tmp;
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.inline_cell_steps = 1L << 40;
+  opt.checkpoint_dir = kTmp;
+  opt.checkpoint_interval = 5.0;
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(small_spec(3));
+  server.request_advance(id, 12.0);
+  server.wait(id);
+  EXPECT_EQ(server.status(id).checkpoints_written, 2);  // t = 5, 10
+  const ScenarioId rid = server.restore(server.checkpoint_path(id));
+  EXPECT_NEAR(server.status(rid).sim_time, 10.0, 1e-12);
+}
+
+TEST(ScenarioServer, StaleTempFromCrashIsSkippedAndReaped) {
+  TmpDir tmp;
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.checkpoint_dir = kTmp;
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(small_spec(4));
+  server.request_advance(id, 2.0);
+  server.wait(id);
+  server.checkpoint_now(id);
+  const std::string good = server.checkpoint_path(id);
+  const std::string stale = good + ".tmp";
+  {
+    std::ofstream garbage(stale, std::ios::binary);
+    garbage << "killed mid-checkpoint";
+  }
+  const std::vector<std::string> found = list_checkpoints(kTmp);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], good);
+  EXPECT_FALSE(std::filesystem::exists(stale));  // reaped
+  EXPECT_NO_THROW(server.restore(good));         // the published file is whole
+}
+
+TEST(ScenarioServer, TruncatedCheckpointFailsCleanly) {
+  TmpDir tmp;
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.checkpoint_dir = kTmp;
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(small_spec(5));
+  server.request_advance(id, 2.0);
+  server.wait(id);
+  server.checkpoint_now(id);
+  const std::string path = server.checkpoint_path(id);
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) * 3 / 5);
+  EXPECT_THROW(server.restore(path), std::runtime_error);
+}
+
+TEST(ScenarioServer, IgniteRequestMatchesSpecIgnition) {
+  // A second fire requested at runtime lands bitwise where the same shape
+  // declared up front in the spec would: the request path introduces no
+  // divergence as long as it's enqueued before its ignition time.
+  const levelset::Ignition late{
+      levelset::CircleIgnition{90.0, 40.0, 10.0, 10.0}};
+  ScenarioSpec spec_with = small_spec(6);
+  spec_with.ignitions.push_back(late);
+  const fire::FireState want = solo_state(spec_with, 24.0);
+
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.inline_cell_steps = 1L << 40;
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(small_spec(6));
+  server.request_ignite(id, late);
+  server.request_advance(id, 24.0);
+  server.wait(id);
+  EXPECT_TRUE(server.state(id).psi == want.psi);
+  EXPECT_TRUE(server.state(id).tig == want.tig);
+}
+
+TEST(ScenarioServer, LoadManyConcurrentScenarios) {
+  constexpr int kScenarios = 32;
+  ServerOptions opt;
+  opt.threads = 4;
+  // 21x21, dt 0.5: a 4 s advance (8 steps) stays inline, the 16 s one pools.
+  opt.inline_cell_steps = 441 * 10;
+  ScenarioServer server(opt);
+  std::vector<ScenarioId> ids;
+  for (int k = 0; k < kScenarios; ++k)
+    ids.push_back(server.admit(
+        small_spec(static_cast<std::uint64_t>(1000 + k), 40.0 + k, 55.0)));
+  for (const ScenarioId id : ids) {
+    server.request_advance(id, 4.0);
+    server.request_advance(id, 20.0);
+  }
+  server.wait_all();
+  EXPECT_GT(server.total_inline(), 0);
+  EXPECT_GT(server.total_pooled(), 0);
+  EXPECT_EQ(server.total_inline() + server.total_pooled(), 2L * kScenarios);
+  for (const ScenarioId id : ids) {
+    const ScenarioStatus st = server.status(id);
+    EXPECT_NEAR(st.sim_time, 20.0, 1e-9);
+    EXPECT_EQ(st.steps, 40);
+    EXPECT_FALSE(st.failed) << server.error(id);
+    EXPECT_GT(st.burned_area, 0.0);
+  }
+}
+
+TEST(ScenarioServer, SteadyStateServingAllocatesNothing) {
+#if !WFIRE_ALLOC_COUNTING
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#else
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.inline_cell_steps = 1L << 40;  // measure the inline serving path
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(small_spec(7));
+  // Warm-up: cross a redistancing boundary (reinit_interval = 8 steps) so
+  // every lazily-shaped scratch buffer exists before we start counting.
+  server.request_advance(id, 6.0);  // 12 steps
+  server.wait(id);
+
+  t_alloc_count = 0;
+  t_count_allocs = true;
+  server.request_advance(id, 12.0);  // 12 more steps, reinits included
+  server.wait(id);
+  t_count_allocs = false;
+  EXPECT_EQ(t_alloc_count, 0)
+      << "steady-state serving path touched the heap";
+#endif
+}
+
+TEST(ScenarioServer, GracefulShutdownDrainsAndRefusesNewWork) {
+  TmpDir tmp;
+  ServerOptions opt;
+  opt.threads = 2;
+  opt.inline_cell_steps = 0;  // pooled, so work is in flight at shutdown
+  opt.checkpoint_dir = kTmp;
+  ScenarioServer server(opt);
+  const ScenarioId a = server.admit(small_spec(8));
+  const ScenarioId b = server.admit(small_spec(9));
+  server.request_advance(a, 10.0);
+  server.request_advance(b, 10.0);
+  server.shutdown();
+  EXPECT_NEAR(server.status(a).sim_time, 10.0, 1e-9);  // drained, not dropped
+  EXPECT_NEAR(server.status(b).sim_time, 10.0, 1e-9);
+  EXPECT_THROW(server.request_advance(a, 20.0), std::runtime_error);
+  EXPECT_THROW(server.admit(small_spec(10)), std::runtime_error);
+  // Shutdown left one final checkpoint per scenario.
+  EXPECT_EQ(list_checkpoints(kTmp).size(), 2u);
+}
+
+TEST(ScenarioServer, RequestRingOverflowIsDiagnosed) {
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.request_capacity = 2;
+  opt.inline_cell_steps = 0;
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(small_spec(12));
+  // Hold the lone worker busy so requests pile up in the ring.
+  for (int tries = 0; tries < 64; ++tries) {
+    try {
+      server.request_advance(id, 1000.0 + tries);
+    } catch (const std::runtime_error&) {
+      server.wait(id);
+      SUCCEED();
+      return;
+    }
+  }
+  FAIL() << "ring never reported overflow";
+}
