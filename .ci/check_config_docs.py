@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Docs-consistency check for docs/CONFIG.md.
+
+Fails (exit 1) on drift in either direction:
+  - an environment knob read via getenv("WFIRE_*") anywhere under src/, or a
+    CMake option(WFIRE_*) in the top-level CMakeLists.txt, that docs/CONFIG.md
+    does not mention;
+  - a WFIRE_* token mentioned in docs/CONFIG.md that no longer exists in
+    src/, the top-level CMakeLists.txt, or CMakePresets.json.
+
+Run from anywhere: paths resolve relative to the repo root (the parent of
+this script's directory). No dependencies beyond the standard library.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+GETENV = re.compile(r'getenv\(\s*"(WFIRE_[A-Z0-9_]+)"')
+OPTION = re.compile(r"^option\((WFIRE_[A-Z0-9_]+)", re.MULTILINE)
+TOKEN = re.compile(r"\b(WFIRE_[A-Z0-9_]+)\b")
+
+
+def main() -> int:
+    src_files = sorted((ROOT / "src").rglob("*.cpp")) + sorted(
+        (ROOT / "src").rglob("*.h"))
+    src_text = "\n".join(f.read_text() for f in src_files)
+    cmake_text = (ROOT / "CMakeLists.txt").read_text()
+    presets_text = (ROOT / "CMakePresets.json").read_text()
+
+    env_knobs = set(GETENV.findall(src_text))
+    cmake_opts = set(OPTION.findall(cmake_text))
+
+    doc_path = ROOT / "docs" / "CONFIG.md"
+    doc_tokens = set(TOKEN.findall(doc_path.read_text()))
+
+    # Everything a documented token may legitimately refer to: env knobs,
+    # build options, and code identifiers like the WFIRE_PRAGMA_OMP shim.
+    known = set(TOKEN.findall(src_text + cmake_text + presets_text))
+
+    errors = []
+    for k in sorted(env_knobs - doc_tokens):
+        errors.append(
+            f"{k}: read via getenv() under src/ but not documented in "
+            f"docs/CONFIG.md")
+    for k in sorted(cmake_opts - doc_tokens):
+        errors.append(
+            f"{k}: declared as a CMake option but not documented in "
+            f"docs/CONFIG.md")
+    for k in sorted(doc_tokens - known):
+        errors.append(
+            f"{k}: documented in docs/CONFIG.md but absent from src/, "
+            f"CMakeLists.txt and CMakePresets.json")
+
+    if errors:
+        print("docs/CONFIG.md is out of sync with the sources:",
+              file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+
+    print(f"docs/CONFIG.md consistent: {len(env_knobs)} env knobs, "
+          f"{len(cmake_opts)} CMake options, "
+          f"{len(doc_tokens)} documented tokens.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ serial_dir=$2
 outdir=$3
 mkdir -p "$outdir"
 
-for bench in bench_fig1_coupled bench_fig2_scaling bench_serve bench_sub_enkf bench_sub_la bench_sub_qr; do
+for bench in bench_fig1_coupled bench_fig2_scaling bench_risk bench_serve bench_sub_enkf bench_sub_la bench_sub_qr; do
   "$omp_dir/bench/$bench" \
     --benchmark_out="$outdir/${bench}_omp.json" \
     --benchmark_out_format=json >/dev/null

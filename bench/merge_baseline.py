@@ -13,8 +13,8 @@ import sys
 from datetime import date
 from pathlib import Path
 
-BENCHES = ["bench_fig1_coupled", "bench_fig2_scaling", "bench_serve",
-           "bench_sub_enkf", "bench_sub_la", "bench_sub_qr"]
+BENCHES = ["bench_fig1_coupled", "bench_fig2_scaling", "bench_risk",
+           "bench_serve", "bench_sub_enkf", "bench_sub_la", "bench_sub_qr"]
 
 
 def load_times(path: Path) -> dict:

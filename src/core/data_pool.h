@@ -46,6 +46,13 @@ class ObservationSource {
   [[nodiscard]] virtual const util::Array2D<double>* truth_psi() const {
     return nullptr;
   }
+
+  // Noise-free reference ignition times, when the source has them: the
+  // reference burn that risk::score validates burn-probability products
+  // against (cells with tig <= horizon burned in truth).
+  [[nodiscard]] virtual const util::Array2D<double>* truth_tig() const {
+    return nullptr;
+  }
 };
 
 class DataPool : public ObservationSource {
@@ -61,6 +68,9 @@ class DataPool : public ObservationSource {
   [[nodiscard]] const fire::FireModel& truth() const { return *truth_; }
   [[nodiscard]] const util::Array2D<double>* truth_psi() const override {
     return &truth_->state().psi;
+  }
+  [[nodiscard]] const util::Array2D<double>* truth_tig() const override {
+    return &truth_->state().tig;
   }
 
  private:

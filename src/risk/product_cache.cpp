@@ -1,0 +1,96 @@
+#include "risk/product_cache.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace wfire::risk {
+
+int ProductCache::env_capacity() {
+  constexpr int kDefault = 32;
+  const char* s = std::getenv("WFIRE_RISK_CACHE");
+  if (s == nullptr || *s == '\0') return kDefault;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == nullptr || *end != '\0') return kDefault;
+  return v >= 1 ? static_cast<int>(v) : 1;
+}
+
+ProductCache::ProductCache(int capacity)
+    : capacity_(capacity >= 1 ? capacity : 1) {}
+
+std::shared_ptr<const BurnProbabilityGrid> ProductCache::fetch(
+    const serve::ScenarioSpec& base, const PerturbationSpec& pert,
+    const SweepOptions& opt) {
+  const std::uint64_t key = product_key(base, pert, opt);
+
+  std::shared_future<Product> fut;
+  std::promise<Product> prom;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = index_.find(key); it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      return it->second->grid;
+    }
+    ++misses_;
+    if (const auto fit = inflight_.find(key); fit != inflight_.end()) {
+      fut = fit->second;  // join the in-flight compute
+    } else {
+      leader = true;
+      ++sweeps_;
+      fut = prom.get_future().share();
+      inflight_.emplace(key, fut);
+    }
+  }
+
+  if (!leader) return fut.get();  // rethrows the leader's failure
+
+  Product grid;
+  try {
+    SweepDriver driver(base, pert, opt);
+    grid = std::make_shared<const BurnProbabilityGrid>(driver.run());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    prom.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+    lru_.push_front(Entry{key, grid});
+    index_[key] = lru_.begin();
+    while (static_cast<int>(lru_.size()) > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();  // clients holding the pointer keep the grid alive
+    }
+  }
+  prom.set_value(grid);
+  return grid;
+}
+
+long ProductCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+long ProductCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+long ProductCache::sweeps_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sweeps_;
+}
+
+int ProductCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(lru_.size());
+}
+
+}  // namespace wfire::risk

@@ -15,8 +15,8 @@ namespace wfire::serve {
 
 namespace {
 
-constexpr double kCkptVersion = 1.0;
-constexpr std::size_t kMetaCount = 20;
+constexpr double kCkptVersion = 2.0;  // v2 appended the fuel scales
+constexpr std::size_t kMetaCount = 22;
 constexpr std::size_t kIgnitionStride = 7;  // [type, 6 shape/time params]
 
 long env_inline_threshold(long fallback) {
@@ -76,12 +76,23 @@ ScenarioServer::Scenario& ScenarioServer::at(ScenarioId id) const {
 
 ScenarioId ScenarioServer::admit(const ScenarioSpec& spec) {
   if (spec.dt <= 0) throw std::invalid_argument("ScenarioSpec: dt <= 0");
+  if (!(spec.fuel_moisture_scale > 0) || !(spec.burn_time_scale > 0))
+    throw std::invalid_argument("ScenarioSpec: fuel scales must be > 0");
   auto s = std::make_unique<Scenario>();
   s->spec = spec;
   s->grid = grid::Grid2D(spec.nx, spec.ny, spec.dx, spec.dy);
+  fire::FuelMap fuel = fire::uniform_fuel(spec.nx, spec.ny, spec.fuel_category);
+  if (spec.fuel_moisture_scale != 1.0 || spec.burn_time_scale != 1.0) {
+    // Monte Carlo fuel perturbation: one multiplicative factor over the
+    // whole catalog, so the perturbed scenario stays a pure function of its
+    // spec (and round-trips through the checkpoint meta).
+    for (fire::FuelCategory& c : fuel.catalog) {
+      c.M *= spec.fuel_moisture_scale;
+      c.tau *= spec.burn_time_scale;
+    }
+  }
   s->model = std::make_unique<fire::FireModel>(
-      s->grid, fire::uniform_fuel(spec.nx, spec.ny, spec.fuel_category),
-      fire::terrain_flat(s->grid), spec.fire);
+      s->grid, std::move(fuel), fire::terrain_flat(s->grid), spec.fire);
   if (!spec.ignitions.empty()) s->model->ignite(spec.ignitions);
   // Carve the per-scenario arenas up front: flux outputs, the request ring,
   // and the checkpoint section buffers. Steady-state serving reuses these.
@@ -97,6 +108,7 @@ ScenarioId ScenarioServer::admit(const ScenarioSpec& spec) {
     if (static_cast<int>(scenarios_.size()) >= opt_.max_scenarios)
       throw std::runtime_error("ScenarioServer: at max_scenarios capacity");
     id = static_cast<ScenarioId>(scenarios_.size());
+    s->id = id;
     scenarios_.push_back(std::move(s));
   }
   Scenario& sc = at(id);
@@ -141,6 +153,8 @@ ScenarioId ScenarioServer::restore(const std::string& checkpoint_path) {
   spec.seed = static_cast<std::uint64_t>(m[10]) |
               (static_cast<std::uint64_t>(m[11]) << 32);
   spec.realtime_speedup = m[12];
+  spec.fuel_moisture_scale = m[20];
+  spec.burn_time_scale = m[21];
   spec.fire.reinit_interval = static_cast<int>(m[16]);
   spec.fire.use_heun = m[17] != 0.0;
   spec.fire.min_fuel_frac = m[18];
@@ -249,6 +263,11 @@ void ScenarioServer::run_scenario(Scenario& s, bool pooled) {
     } else {
       drain_requests(s, lock);
     }
+    // Ring drained: the scenario is about to go idle. The completion hook
+    // runs under the lock (contract in the header: no server re-entry) and
+    // before `running` flips, so wait() cannot return ahead of it; a
+    // throwing hook takes the same failure path as a throwing advance.
+    if (s.on_complete) s.on_complete(s.id, s.model->state());
   } catch (...) {
     if (s.error.empty()) {
       try {
@@ -344,6 +363,8 @@ void ScenarioServer::write_checkpoint_locked(Scenario& s) {
   meta[17] = s.spec.fire.use_heun ? 1.0 : 0.0;
   meta[18] = s.spec.fire.min_fuel_frac;
   meta[19] = static_cast<double>(static_cast<int>(s.spec.fire.scheme));
+  meta[20] = s.spec.fuel_moisture_scale;
+  meta[21] = s.spec.burn_time_scale;
   s.ckpt_sections["psi"].assign(st.psi.begin(), st.psi.end());
   s.ckpt_sections["tig"].assign(st.tig.begin(), st.tig.end());
   const std::vector<levelset::Ignition>& pending = s.model->pending_ignitions();
@@ -353,6 +374,12 @@ void ScenarioServer::write_checkpoint_locked(Scenario& s) {
     pack_ignition(pending[k], &packed[k * kIgnitionStride]);
   obs::StateFile::write(s.ckpt_path, s.ckpt_sections);
   ++s.checkpoints;
+}
+
+void ScenarioServer::set_completion_hook(ScenarioId id, CompletionHook hook) {
+  Scenario& s = at(id);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.on_complete = std::move(hook);
 }
 
 void ScenarioServer::checkpoint_now(ScenarioId id) {

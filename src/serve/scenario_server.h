@@ -24,11 +24,30 @@
 // (util::Rng::stream(seed, step)), so N scenarios served concurrently on any
 // pool width produce trajectories bitwise-identical to running each alone —
 // decorrelated across seeds, reproducible within one.
+//
+// Ownership and threading contract:
+//  - The server owns every scenario it admits for its whole lifetime; ids
+//    are dense ints and never invalidated (there is no remove()). References
+//    returned by state() stay valid until the server is destroyed but may
+//    only be read while the scenario is idle (wait() first).
+//  - Each scenario has one mutex; at most one thread (caller or pool worker)
+//    advances a scenario at a time. Distinct scenarios never contend.
+//  - Completion hooks (set_completion_hook) fire on the serving thread —
+//    the caller's for inline jobs, a pool worker's for pooled ones — with
+//    the scenario lock held, each time its request ring drains. A hook must
+//    not call back into the server (the lock is held); it is the streaming
+//    reduction point for fleet workloads (risk::SweepDriver folds finished
+//    members into a burn-probability grid here). A throwing hook marks the
+//    scenario failed, like a throwing advance.
+//  - Allocation: everything a scenario needs in steady state is carved at
+//    admit(); the serving path (request_advance/step/status) touches the
+//    heap only through a user-supplied completion hook, never itself.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,6 +72,11 @@ struct ScenarioSpec {
   double wind_u = 3.0, wind_v = 0.0;  // ambient wind [m/s]
   double wind_jitter = 0.0;      // per-step gust std [m/s], 0 = steady wind
   std::uint64_t seed = 0;        // gust stream seed (util::Rng::stream)
+  // Monte Carlo fuel perturbations (risk::SweepDriver): the whole fuel
+  // catalog's moisture M resp. mass-loss e-folding time tau is scaled at
+  // admit(). Must be > 0; 1 = the catalog as published.
+  double fuel_moisture_scale = 1.0;
+  double burn_time_scale = 1.0;
   double realtime_speedup = 0;   // > 0: score advances against sim/speedup
   std::vector<levelset::Ignition> ignitions;  // applied at admit()
   fire::FireModelOptions fire;
@@ -118,6 +142,14 @@ class ScenarioServer {
   // the request is enqueued before the scenario reaches that time.
   void request_ignite(ScenarioId id, const levelset::Ignition& ign);
 
+  // Called each time the scenario's request ring drains (it is about to go
+  // idle), on the serving thread, with the scenario lock held and the state
+  // at its post-advance value. See the threading contract above: the hook
+  // must not call back into the server; a throwing hook fails the scenario.
+  // Replaces any previously set hook; an empty function clears it.
+  using CompletionHook = std::function<void(ScenarioId, const fire::FireState&)>;
+  void set_completion_hook(ScenarioId id, CompletionHook hook);
+
   // Blocks until the scenario (resp. every scenario) is idle with an empty
   // request ring.
   void wait(ScenarioId id);
@@ -154,6 +186,7 @@ class ScenarioServer {
   };
 
   struct Scenario {
+    ScenarioId id = -1;
     ScenarioSpec spec;
     grid::Grid2D grid;
     std::unique_ptr<fire::FireModel> model;
@@ -166,6 +199,7 @@ class ScenarioServer {
     std::string ckpt_path;             // fixed target; rename commits to it
     obs::Sections ckpt_sections;       // preallocated section buffers
     std::string error;                 // first pooled-job failure
+    CompletionHook on_complete;        // fires when the ring drains
     // Fixed-capacity FIFO request ring (no allocation on enqueue/dequeue).
     std::vector<Request> ring;
     std::size_t ring_head = 0, ring_count = 0;

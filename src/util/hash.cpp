@@ -1,0 +1,39 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace wfire::util {
+
+namespace {
+constexpr std::uint64_t kPrime = 1099511628211ULL;
+}
+
+void Fnv1a::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state_ ^= p[i];
+    state_ *= kPrime;
+  }
+}
+
+void Fnv1a::u64(std::uint64_t v) {
+  // Explicit little-endian serialization: the key must not depend on host
+  // byte order.
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  bytes(buf, sizeof buf);
+}
+
+void Fnv1a::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void Fnv1a::str(std::string_view s) {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+}  // namespace wfire::util

@@ -1,0 +1,38 @@
+// Deterministic non-cryptographic hashing (64-bit FNV-1a) for content keys:
+// the risk layer keys its burn-probability product cache on a hash of the
+// scenario + perturbation specs, so equal requests served to any number of
+// clients resolve to the same cached product. Floating-point fields fold in
+// bitwise (two specs hash equal iff their trajectories are bitwise equal),
+// and every fold is fixed-width little-endian so keys are stable across
+// platforms with the same double format.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wfire::util {
+
+class Fnv1a {
+ public:
+  // Raw bytes, folded one at a time (FNV-1a: xor then multiply).
+  void bytes(const void* data, std::size_t n);
+
+  // Fixed-width scalar folds. Integers fold as 8 little-endian bytes;
+  // doubles fold their IEEE-754 bit pattern (so -0.0 != 0.0 and every NaN
+  // payload is distinct — bitwise-equal inputs, bitwise-equal products).
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(int v) { i64(v); }
+  void b(bool v) { u64(v ? 1 : 0); }
+  void f64(double v);
+
+  // Length-prefixed, so {"ab","c"} and {"a","bc"} hash differently.
+  void str(std::string_view s);
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 14695981039346656037ULL;  // FNV offset basis
+};
+
+}  // namespace wfire::util

@@ -1,0 +1,475 @@
+// Risk-layer tests: the order-free burn-probability reduction, sweep
+// determinism across pool widths (the product is a pure function of
+// (base, perturbation) — execution knobs are bitwise-irrelevant), the
+// single-flight product cache, and risk::score() on hand-constructed grids
+// with known confusion matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/data_pool.h"
+#include "fire/terrain.h"
+#include "risk/product_cache.h"
+#include "risk/sweep.h"
+
+using namespace wfire;
+using namespace wfire::risk;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+serve::ScenarioSpec sweep_base(std::uint64_t seed = 7) {
+  serve::ScenarioSpec spec;
+  spec.nx = 21;
+  spec.ny = 21;
+  spec.dx = 6.0;
+  spec.dy = 6.0;
+  spec.dt = 0.5;
+  spec.wind_u = 2.0;
+  spec.wind_v = 0.5;
+  spec.wind_jitter = 0.5;  // gust streams active, so seeds matter
+  spec.seed = seed;
+  spec.fire.reinit_interval = 8;
+  spec.ignitions = {
+      levelset::Ignition{levelset::CircleIgnition{60.0, 60.0, 15.0, 0.0}}};
+  return spec;
+}
+
+PerturbationSpec sweep_pert() {
+  PerturbationSpec pert;
+  pert.wind_speed_sigma = 0.6;
+  pert.wind_dir_sigma = 0.25;
+  pert.moisture_sigma = 0.2;
+  pert.burn_time_sigma = 0.2;
+  pert.ignition_jitter = 5.0;
+  pert.seed = 1234;
+  return pert;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// score() on hand-constructed grids: every confusion-matrix cell exercised
+// with counts small enough to verify by hand.
+
+TEST(Score, HandConstructedGridHasKnownF1) {
+  BurnProbabilityGrid grid;
+  grid.nx = 2;
+  grid.ny = 2;
+  grid.dx = grid.dy = 6.0;
+  grid.horizon = 100.0;
+  grid.members = 1;
+  grid.probability = util::Array2D<double>(2, 2, 0.0);
+  grid.probability(0, 0) = 1.0;  // burned in truth -> tp
+  grid.probability(1, 0) = 1.0;  // unburned in truth -> fp
+  // (0,1) predicted cold but burned -> fn; (1,1) cold both -> tn.
+
+  util::Array2D<double> ref(2, 2, kInf);
+  ref(0, 0) = 0.0;
+  ref(0, 1) = 10.0;
+
+  const Scores s = score(grid, 0.5, ref, 100.0);
+  EXPECT_EQ(s.tp, 1);
+  EXPECT_EQ(s.fp, 1);
+  EXPECT_EQ(s.fn, 1);
+  EXPECT_EQ(s.tn, 1);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+}
+
+TEST(Score, PerfectPredictionScoresOne) {
+  BurnProbabilityGrid grid;
+  grid.nx = 3;
+  grid.ny = 1;
+  grid.members = 1;
+  grid.probability = util::Array2D<double>(3, 1, 0.0);
+  grid.probability(0, 0) = 1.0;
+  grid.probability(2, 0) = 0.9;
+
+  util::Array2D<double> ref(3, 1, kInf);
+  ref(0, 0) = 5.0;
+  ref(2, 0) = 40.0;
+
+  const Scores s = score(grid, 0.5, ref, 60.0);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(Score, EmptyPredictionIsZeroNotNaN) {
+  BurnProbabilityGrid grid;
+  grid.nx = 2;
+  grid.ny = 1;
+  grid.members = 1;
+  grid.probability = util::Array2D<double>(2, 1, 0.0);
+  util::Array2D<double> ref(2, 1, 0.0);  // everything burned in truth
+
+  const Scores s = score(grid, 0.5, ref, 10.0);
+  EXPECT_EQ(s.tp, 0);
+  EXPECT_EQ(s.fn, 2);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(Score, ReferenceShapeMismatchThrows) {
+  BurnProbabilityGrid grid;
+  grid.nx = 2;
+  grid.ny = 2;
+  grid.probability = util::Array2D<double>(2, 2, 0.0);
+  util::Array2D<double> ref(3, 2, kInf);
+  EXPECT_THROW((void)score(grid, 0.5, ref, 10.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The streaming reduction: integer counts, member-indexed arrival slots,
+// exact quantiles.
+
+TEST(Accumulator, ReductionCountsArrivalsAndQuantiles) {
+  BurnProbabilityAccumulator acc(2, 1, 6.0, 6.0, 3, 100.0);
+
+  util::Array2D<double> m0(2, 1, kInf), m1(2, 1, kInf), m2(2, 1, kInf);
+  m0(0, 0) = 10.0;
+  m1(0, 0) = 20.0;
+  m1(1, 0) = 50.0;
+  m2(0, 0) = 30.0;
+  m2(1, 0) = 200.0;  // past the horizon: not burned at the forecast time
+
+  // Arrival order is arbitrary by contract.
+  acc.add_member(2, m2);
+  acc.add_member(0, m0);
+  EXPECT_EQ(acc.members_added(), 2);
+  acc.add_member(1, m1);
+
+  const BurnProbabilityGrid grid = acc.finalize();
+  EXPECT_EQ(grid.burned_count(0, 0), 3);
+  EXPECT_EQ(grid.burned_count(1, 0), 1);
+  EXPECT_DOUBLE_EQ(grid.probability(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.probability(1, 0), 1.0 / 3.0);
+
+  EXPECT_DOUBLE_EQ(grid.arrival(0, 0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(grid.arrival(0, 0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(grid.arrival(0, 0, 2), 30.0);
+  EXPECT_DOUBLE_EQ(grid.arrival(1, 0, 1), 50.0);
+  EXPECT_TRUE(std::isinf(grid.arrival(1, 0, 0)));
+  EXPECT_TRUE(std::isinf(grid.arrival(1, 0, 2)));
+
+  EXPECT_DOUBLE_EQ(grid.arrival_quantile(0.0)(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(grid.arrival_quantile(0.5)(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(grid.arrival_quantile(1.0)(0, 0), 30.0);
+  EXPECT_DOUBLE_EQ(grid.arrival_quantile(0.5)(1, 0), 50.0);
+
+  EXPECT_NEAR(grid.expected_burned_area(), (1.0 + 1.0 / 3.0) * 36.0, 1e-12);
+}
+
+TEST(Accumulator, GuardsRejectBadFolds) {
+  BurnProbabilityAccumulator acc(2, 2, 6.0, 6.0, 2, 50.0);
+  util::Array2D<double> tig(2, 2, kInf);
+
+  EXPECT_THROW(acc.add_member(-1, tig), std::out_of_range);
+  EXPECT_THROW(acc.add_member(2, tig), std::out_of_range);
+  EXPECT_THROW(acc.finalize(), std::logic_error);  // nothing added yet
+
+  acc.add_member(0, tig);
+  EXPECT_THROW(acc.add_member(0, tig), std::logic_error);  // already added
+  EXPECT_THROW(acc.finalize(), std::logic_error);          // one missing
+
+  util::Array2D<double> wrong(3, 2, kInf);
+  EXPECT_THROW(acc.add_member(1, wrong), std::invalid_argument);
+
+  acc.add_member(1, tig);
+  EXPECT_NO_THROW((void)acc.finalize());
+  EXPECT_THROW(BurnProbabilityAccumulator(0, 2, 6.0, 6.0, 2, 50.0),
+               std::invalid_argument);
+  EXPECT_THROW(BurnProbabilityAccumulator(2, 2, 6.0, 6.0, 0, 50.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// perturb_member: a pure function of (base, pert, k) with a fixed draw order.
+
+TEST(Sweep, PerturbMemberIsPure) {
+  const serve::ScenarioSpec base = sweep_base();
+  const PerturbationSpec pert = sweep_pert();
+
+  const serve::ScenarioSpec a = perturb_member(base, pert, 3);
+  const serve::ScenarioSpec b = perturb_member(base, pert, 3);
+  EXPECT_EQ(a.wind_u, b.wind_u);
+  EXPECT_EQ(a.wind_v, b.wind_v);
+  EXPECT_EQ(a.fuel_moisture_scale, b.fuel_moisture_scale);
+  EXPECT_EQ(a.burn_time_scale, b.burn_time_scale);
+  EXPECT_EQ(a.seed, b.seed);
+  const auto& ca = std::get<levelset::CircleIgnition>(a.ignitions[0]);
+  const auto& cb = std::get<levelset::CircleIgnition>(b.ignitions[0]);
+  EXPECT_EQ(ca.cx, cb.cx);
+  EXPECT_EQ(ca.cy, cb.cy);
+
+  const serve::ScenarioSpec c = perturb_member(base, pert, 4);
+  EXPECT_NE(a.wind_u, c.wind_u);
+  EXPECT_NE(a.seed, c.seed);
+
+  EXPECT_THROW(perturb_member(base, pert, -1), std::invalid_argument);
+}
+
+TEST(Sweep, ZeroSigmasLeaveTheBaseUntouched) {
+  const serve::ScenarioSpec base = sweep_base();
+  PerturbationSpec none;  // all sigmas zero
+  none.seed = 99;
+
+  const serve::ScenarioSpec spec = perturb_member(base, none, 0);
+  // Wind round-trips through speed/direction space: equal up to rounding.
+  EXPECT_NEAR(spec.wind_u, base.wind_u, 1e-12);
+  EXPECT_NEAR(spec.wind_v, base.wind_v, 1e-12);
+  EXPECT_EQ(spec.fuel_moisture_scale, base.fuel_moisture_scale);
+  EXPECT_EQ(spec.burn_time_scale, base.burn_time_scale);
+  const auto& c = std::get<levelset::CircleIgnition>(spec.ignitions[0]);
+  const auto& c0 = std::get<levelset::CircleIgnition>(base.ignitions[0]);
+  EXPECT_EQ(c.cx, c0.cx);
+  EXPECT_EQ(c.cy, c0.cy);
+  // The gust seed is still re-derived (members must decorrelate even with
+  // no spec perturbation at all).
+  EXPECT_NE(spec.seed, base.seed);
+}
+
+TEST(Sweep, ZeroingOneAxisLeavesTheOthersDraws) {
+  // The draw order is fixed and independent of which sigmas are zero:
+  // turning off the moisture axis must not reshuffle wind or burn time.
+  const serve::ScenarioSpec base = sweep_base();
+  const PerturbationSpec full = sweep_pert();
+  PerturbationSpec no_moist = full;
+  no_moist.moisture_sigma = 0;
+
+  const serve::ScenarioSpec a = perturb_member(base, full, 5);
+  const serve::ScenarioSpec b = perturb_member(base, no_moist, 5);
+  EXPECT_EQ(a.wind_u, b.wind_u);
+  EXPECT_EQ(a.wind_v, b.wind_v);
+  EXPECT_EQ(a.burn_time_scale, b.burn_time_scale);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_NE(a.fuel_moisture_scale, b.fuel_moisture_scale);
+  EXPECT_EQ(b.fuel_moisture_scale, base.fuel_moisture_scale);
+}
+
+TEST(Sweep, ProductKeyTracksProductNotExecution) {
+  const serve::ScenarioSpec base = sweep_base();
+  const PerturbationSpec pert = sweep_pert();
+  SweepOptions opt;
+  opt.members = 16;
+  opt.horizon = 30.0;
+
+  const std::uint64_t key = product_key(base, pert, opt);
+  EXPECT_EQ(product_key(base, pert, opt), key);
+
+  // Execution knobs are excluded by contract.
+  SweepOptions exec = opt;
+  exec.threads = 7;
+  exec.inline_cell_steps = 0;
+  EXPECT_EQ(product_key(base, pert, exec), key);
+
+  SweepOptions more = opt;
+  more.members = 17;
+  EXPECT_NE(product_key(base, pert, more), key);
+  SweepOptions longer = opt;
+  longer.horizon = 31.0;
+  EXPECT_NE(product_key(base, pert, longer), key);
+
+  PerturbationSpec reseeded = pert;
+  reseeded.seed ^= 1;
+  EXPECT_NE(product_key(base, reseeded, opt), key);
+
+  serve::ScenarioSpec windier = base;
+  windier.wind_u += 0.25;
+  EXPECT_NE(product_key(windier, pert, opt), key);
+}
+
+TEST(Sweep, DriverRejectsDegenerateOptions) {
+  SweepOptions opt;
+  opt.members = 0;
+  EXPECT_THROW(SweepDriver(sweep_base(), sweep_pert(), opt),
+               std::invalid_argument);
+  opt.members = 4;
+  opt.horizon = 0;
+  EXPECT_THROW(SweepDriver(sweep_base(), sweep_pert(), opt),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// The sweep determinism pin from the acceptance criteria: a K=64 sweep is
+// bitwise-reproducible across pool widths and admission routing.
+
+TEST(Sweep, BitwiseReproducibleAcrossPoolWidths) {
+  const serve::ScenarioSpec base = sweep_base(42);
+  const PerturbationSpec pert = sweep_pert();
+
+  SweepOptions solo;
+  solo.members = 64;
+  solo.horizon = 10.0;
+  solo.threads = 1;
+  solo.inline_cell_steps = 1L << 40;  // everything inline, one thread
+
+  SweepOptions wide = solo;
+  wide.threads = 4;
+  wide.inline_cell_steps = 0;  // everything pooled, four threads
+
+  SweepDriver a(base, pert, solo);
+  const BurnProbabilityGrid ga = a.run();
+  EXPECT_EQ(a.last_inline(), 64);
+  EXPECT_EQ(a.last_pooled(), 0);
+
+  SweepDriver b(base, pert, wide);
+  const BurnProbabilityGrid gb = b.run();
+  EXPECT_EQ(b.last_inline(), 0);
+  EXPECT_EQ(b.last_pooled(), 64);
+
+  EXPECT_EQ(ga.key, gb.key);
+  EXPECT_TRUE(ga.burned_count == gb.burned_count);
+  EXPECT_TRUE(ga.probability == gb.probability);
+  EXPECT_TRUE(ga.arrivals == gb.arrivals);
+
+  // The sweep did something: the union burn is wider than any single run.
+  EXPECT_GT(ga.expected_burned_area(), 0.0);
+  int fractional = 0;
+  for (const double p : ga.probability)
+    if (p > 0.0 && p < 1.0) ++fractional;
+  EXPECT_GT(fractional, 0) << "perturbations produced no spread in outcomes";
+}
+
+// ---------------------------------------------------------------------------
+// The product cache: repeats are served without re-simulation, concurrent
+// first requests share one sweep, capacity evicts least-recently-fetched.
+
+TEST(Cache, ServesRepeatsWithoutResimulation) {
+  const serve::ScenarioSpec base = sweep_base();
+  const PerturbationSpec pert = sweep_pert();
+  SweepOptions opt;
+  opt.members = 8;
+  opt.horizon = 4.0;
+
+  ProductCache cache(2);
+  const auto g1 = cache.fetch(base, pert, opt);
+  ASSERT_NE(g1, nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.sweeps_run(), 1);
+
+  const auto g2 = cache.fetch(base, pert, opt);
+  EXPECT_EQ(g2.get(), g1.get());  // the very same product object
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.sweeps_run(), 1);
+
+  // Execution knobs don't key: a different pool width is still a hit.
+  SweepOptions exec = opt;
+  exec.threads = 3;
+  EXPECT_EQ(cache.fetch(base, pert, exec).get(), g1.get());
+  EXPECT_EQ(cache.sweeps_run(), 1);
+
+  // Two more products through a capacity-2 cache: A(refreshed), B, C.
+  SweepOptions hb = opt, hc = opt;
+  hb.horizon = 5.0;
+  hc.horizon = 6.0;
+  (void)cache.fetch(base, pert, hb);
+  EXPECT_EQ(cache.size(), 2);
+  (void)cache.fetch(base, pert, opt);  // refresh A's recency
+  (void)cache.fetch(base, pert, hc);   // evicts B (least recently fetched)
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.sweeps_run(), 3);
+
+  (void)cache.fetch(base, pert, opt);  // A survived the eviction
+  EXPECT_EQ(cache.sweeps_run(), 3);
+  (void)cache.fetch(base, pert, hb);  // B was evicted: re-simulated
+  EXPECT_EQ(cache.sweeps_run(), 4);
+
+  // An evicted-but-held product stays alive for its clients.
+  EXPECT_GE(g1->members, 8);
+}
+
+TEST(Cache, SingleFlightDeduplicatesConcurrentMisses) {
+  const serve::ScenarioSpec base = sweep_base(11);
+  const PerturbationSpec pert = sweep_pert();
+  SweepOptions opt;
+  opt.members = 8;
+  opt.horizon = 4.0;
+
+  ProductCache cache(4);
+  std::vector<std::shared_ptr<const BurnProbabilityGrid>> got(4);
+  std::vector<std::thread> clients;
+  clients.reserve(got.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    clients.emplace_back(
+        [&, i] { got[i] = cache.fetch(base, pert, opt); });
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(cache.sweeps_run(), 1) << "concurrent misses must share one sweep";
+  EXPECT_EQ(cache.misses(), 4);
+  for (const auto& g : got) {
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g.get(), got[0].get());
+  }
+}
+
+TEST(Cache, EnvCapacityOverride) {
+  ASSERT_EQ(setenv("WFIRE_RISK_CACHE", "5", 1), 0);
+  EXPECT_EQ(ProductCache::env_capacity(), 5);
+  ASSERT_EQ(setenv("WFIRE_RISK_CACHE", "0", 1), 0);
+  EXPECT_EQ(ProductCache::env_capacity(), 1);  // clamped
+  ASSERT_EQ(setenv("WFIRE_RISK_CACHE", "nonsense", 1), 0);
+  EXPECT_EQ(ProductCache::env_capacity(), 32);  // default on parse failure
+  ASSERT_EQ(unsetenv("WFIRE_RISK_CACHE"), 0);
+  EXPECT_EQ(ProductCache::env_capacity(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end skill: a sweep around a slightly-biased base spec reproduces a
+// twin-experiment reference burn (the validation regime of the examples
+// demo, here with a pass bar rather than golden pins).
+
+TEST(Risk, SweepReproducesTwinTruthBurn) {
+  // Hidden truth: the DataPool's fire advanced to the forecast horizon.
+  const grid::Grid2D g(41, 41, 6.0, 6.0);
+  auto truth = std::make_unique<fire::FireModel>(
+      g, fire::uniform_fuel(g.nx, g.ny, fire::kFuelShortGrass),
+      fire::terrain_flat(g));
+  truth->ignite(
+      {levelset::Ignition{levelset::CircleIgnition{120.0, 120.0, 20.0, 0.0}}});
+  core::DataPoolOptions dopt;
+  dopt.wind_u = 2.0;
+  dopt.wind_v = 0.5;
+  core::DataPool pool(std::move(truth), dopt, util::Rng(3));
+  const double horizon = 60.0;
+  (void)pool.observe_at(horizon);
+  const util::Array2D<double>* ref = pool.truth_tig();
+  ASSERT_NE(ref, nullptr);
+
+  // Forecast: the analyst's spec has a wind bias; the sweep's spread covers
+  // the truth anyway.
+  serve::ScenarioSpec base;
+  base.nx = 41;
+  base.ny = 41;
+  base.dx = base.dy = 6.0;
+  base.dt = 0.5;
+  base.wind_u = 2.3;  // biased vs the true 2.0
+  base.wind_v = 0.3;  // biased vs the true 0.5
+  base.ignitions = {
+      levelset::Ignition{levelset::CircleIgnition{120.0, 120.0, 20.0, 0.0}}};
+
+  PerturbationSpec pert;
+  pert.wind_speed_sigma = 0.4;
+  pert.wind_dir_sigma = 0.15;
+  pert.ignition_jitter = 3.0;
+  pert.seed = 2026;
+
+  SweepOptions opt;
+  opt.members = 16;
+  opt.horizon = horizon;
+  SweepDriver driver(base, pert, opt);
+  const BurnProbabilityGrid grid = driver.run();
+
+  const Scores s = score(grid, 0.5, *ref, horizon);
+  EXPECT_GE(s.f1, 0.8) << "precision " << s.precision << " recall "
+                       << s.recall;
+}

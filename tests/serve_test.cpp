@@ -383,3 +383,107 @@ TEST(ScenarioServer, RequestRingOverflowIsDiagnosed) {
   }
   FAIL() << "ring never reported overflow";
 }
+
+TEST(ScenarioServer, CompletionHookFiresOnEachRingDrain) {
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.inline_cell_steps = 1L << 40;  // inline: the hook runs on this thread
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(small_spec(31));
+
+  int fired = 0;
+  double hook_time = -1.0;
+  server.set_completion_hook(id, [&](ScenarioId hid,
+                                     const fire::FireState& st) {
+    EXPECT_EQ(hid, id);
+    ++fired;
+    hook_time = st.time;
+  });
+
+  server.request_advance(id, 5.0);
+  server.wait(id);
+  EXPECT_EQ(fired, 1);
+  EXPECT_NEAR(hook_time, 5.0, 1e-9);  // post-advance state, pre-idle
+
+  server.request_advance(id, 10.0);
+  server.wait(id);
+  EXPECT_EQ(fired, 2);
+  EXPECT_NEAR(hook_time, 10.0, 1e-9);
+
+  // Clearing the hook stops the callbacks.
+  server.set_completion_hook(id, {});
+  server.request_advance(id, 15.0);
+  server.wait(id);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ScenarioServer, ThrowingHookFailsTheScenario) {
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.inline_cell_steps = 0;  // pooled: the failure path, like an advance
+  ScenarioServer server(opt);
+  const ScenarioId id = server.admit(small_spec(32));
+  server.set_completion_hook(id, [](ScenarioId, const fire::FireState&) {
+    throw std::runtime_error("reduction exploded");
+  });
+  server.request_advance(id, 5.0);
+  server.wait(id);
+  EXPECT_TRUE(server.status(id).failed);
+  EXPECT_NE(server.error(id).find("reduction exploded"), std::string::npos);
+}
+
+TEST(ScenarioServer, FuelScalesPerturbTheTrajectory) {
+  // burn_time_scale shrinks every category's mass-loss e-folding time, so
+  // cells behind the front exhaust (fuel_frac <= min_fuel_frac) much sooner
+  // and stop spreading fire — the trajectory, not just the fluxes, changes.
+  ScenarioSpec fast = small_spec(33);
+  fast.wind_jitter = 0;  // isolate the fuel effect from the gust stream
+  ScenarioSpec slow = fast;
+  fast.burn_time_scale = 0.05;
+
+  const fire::FireState a = solo_state(fast, 30.0);
+  const fire::FireState b = solo_state(slow, 30.0);
+  EXPECT_FALSE(a.psi == b.psi);
+
+  // Invalid scales are rejected at admission.
+  ScenarioSpec bad = small_spec(34);
+  bad.fuel_moisture_scale = 0.0;
+  ScenarioServer server;
+  EXPECT_THROW(server.admit(bad), std::invalid_argument);
+  bad.fuel_moisture_scale = 1.0;
+  bad.burn_time_scale = -2.0;
+  EXPECT_THROW(server.admit(bad), std::invalid_argument);
+}
+
+TEST(ScenarioServer, FuelScalesRoundTripThroughCheckpoints) {
+  TmpDir tmp;
+  ScenarioSpec spec = small_spec(35);
+  spec.fuel_moisture_scale = 1.3;
+  spec.burn_time_scale = 0.6;
+
+  ServerOptions opt;
+  opt.threads = 1;
+  opt.checkpoint_dir = kTmp;
+  std::string path;
+  {
+    ScenarioServer server(opt);
+    const ScenarioId id = server.admit(spec);
+    server.request_advance(id, 15.0);
+    server.wait(id);
+    server.checkpoint_now(id);
+    path = server.checkpoint_path(id);
+  }
+
+  // Resume from the checkpoint and continue; a second server runs the same
+  // spec uninterrupted. If the scales were dropped from the checkpoint
+  // metadata, the restored fuel catalog would differ and the trajectories
+  // would diverge.
+  ScenarioServer resumed(opt);
+  const ScenarioId rid = resumed.restore(path);
+  resumed.request_advance(rid, 30.0);
+  resumed.wait(rid);
+
+  const fire::FireState ref = solo_state(spec, 30.0);
+  EXPECT_TRUE(resumed.state(rid).psi == ref.psi);
+  EXPECT_TRUE(resumed.state(rid).tig == ref.tig);
+}
